@@ -1,0 +1,391 @@
+(* ddsim — command-line front end for the DD-based quantum-circuit
+   simulator.
+
+     ddsim run --algo grover --qubits 10 --strategy size:256
+     ddsim run --algo shor --modulus 21 --construct
+     ddsim simulate circuit.qasm --strategy k:16 --samples 10
+     ddsim export --algo ghz --qubits 4
+     ddsim dot --algo ghz --qubits 3 -o state.dot *)
+
+open Cmdliner
+
+let strategy_conv =
+  let parse text =
+    match Dd_sim.Strategy.of_string text with
+    | Ok strategy -> Ok strategy
+    | Error message -> Error (`Msg message)
+  in
+  Arg.conv (parse, Dd_sim.Strategy.pp)
+
+let strategy_arg =
+  let doc =
+    "Combination strategy: $(b,seq), $(b,k:N) (combine N gates) or \
+     $(b,size:N) (combine until the product DD exceeds N nodes)."
+  in
+  Arg.(
+    value
+    & opt strategy_conv Dd_sim.Strategy.Sequential
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let repeating_arg =
+  let doc = "Apply the DD-repeating treatment to repeated blocks." in
+  Arg.(value & flag & info [ "repeating" ] ~doc)
+
+let seed_arg =
+  Arg.(
+    value & opt int 0xDD
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Measurement RNG seed.")
+
+let samples_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "samples" ] ~docv:"N" ~doc:"Print N measurement samples.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print simulation statistics.")
+
+(* circuit selection shared by run / export / dot *)
+
+let algo_arg =
+  let doc =
+    "Benchmark circuit: $(b,ghz), $(b,bell), $(b,qft), $(b,bv), \
+     $(b,grover), $(b,supremacy), $(b,random) or $(b,shor)."
+  in
+  Arg.(value & opt string "ghz" & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+
+let qubits_arg =
+  Arg.(
+    value & opt int 4 & info [ "n"; "qubits" ] ~docv:"N" ~doc:"Qubit count.")
+
+let marked_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "marked" ] ~docv:"M" ~doc:"Grover: the marked element.")
+
+let modulus_arg =
+  Arg.(
+    value & opt int 15
+    & info [ "modulus" ] ~docv:"N" ~doc:"Shor: the number to factor.")
+
+let base_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "base" ] ~docv:"A" ~doc:"Shor: the co-prime base a.")
+
+let rows_arg =
+  Arg.(value & opt int 4 & info [ "rows" ] ~docv:"R" ~doc:"Supremacy rows.")
+
+let cols_arg =
+  Arg.(value & opt int 4 & info [ "cols" ] ~docv:"C" ~doc:"Supremacy cols.")
+
+let cycles_arg =
+  Arg.(
+    value & opt int 8 & info [ "cycles" ] ~docv:"D" ~doc:"Supremacy depth.")
+
+let gates_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "gates" ] ~docv:"G" ~doc:"Random circuit: gate count.")
+
+let circuit_of_options algo qubits marked rows cols cycles gates seed =
+  match algo with
+  | "ghz" -> Standard.ghz qubits
+  | "bell" -> Standard.bell ()
+  | "qft" -> Qft.circuit qubits
+  | "bv" -> Standard.bernstein_vazirani ~n:qubits ~secret:marked
+  | "grover" -> Grover.circuit ~n:qubits ~marked ()
+  | "supremacy" -> Supremacy.circuit ~seed ~rows ~cols ~cycles ()
+  | "random" -> Standard.random_circuit ~seed ~qubits ~gates ()
+  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+
+let print_top_amplitudes engine =
+  let n = Dd_sim.Engine.qubits engine in
+  if n <= 16 then begin
+    let probabilities = Dd_sim.Engine.probabilities engine in
+    let indexed =
+      Array.mapi (fun i p -> (p, i)) probabilities |> Array.to_list
+    in
+    let sorted = List.sort (fun (a, _) (b, _) -> compare b a) indexed in
+    let top = List.filteri (fun i _ -> i < 8) sorted in
+    Printf.printf "top basis states:\n";
+    List.iter
+      (fun (p, i) ->
+        if p > 1e-9 then
+          Printf.printf "  |%*d>  p = %.6f  amplitude %s\n" 6 i p
+            (Dd_complex.Cnum.to_string (Dd_sim.Engine.amplitude engine i)))
+      top
+  end
+  else
+    Printf.printf "state DD has %d nodes (too wide to dump densely)\n"
+      (Dd_sim.Engine.state_node_count engine)
+
+let finish engine samples stats seconds =
+  Printf.printf "simulation took %.3f s; state DD %d nodes\n" seconds
+    (Dd_sim.Engine.state_node_count engine);
+  print_top_amplitudes engine;
+  if samples > 0 then begin
+    Printf.printf "samples:";
+    for _ = 1 to samples do
+      Printf.printf " %d" (Dd_sim.Engine.sample engine)
+    done;
+    print_newline ()
+  end;
+  if stats then
+    Format.printf "stats: %a@." Dd_sim.Sim_stats.pp (Dd_sim.Engine.stats engine)
+
+(* --- run ---------------------------------------------------------- *)
+
+let run_shor modulus base strategy construct =
+  let backend =
+    if construct then Shor.Direct else Shor.Beauregard strategy
+  in
+  Printf.printf "factoring %d (%s backend, %d qubits)\n" modulus
+    (if construct then "DD-construct" else "Beauregard")
+    (if construct then Shor.direct_qubits modulus
+     else Shor.beauregard_qubits modulus);
+  let start = Unix.gettimeofday () in
+  (match Shor.factor ?a:base ~backend modulus with
+  | Some (p, q) -> Printf.printf "%d = %d * %d\n" modulus p q
+  | None -> Printf.printf "no factors found\n");
+  Printf.printf "took %.3f s\n" (Unix.gettimeofday () -. start)
+
+let construct_arg =
+  Arg.(
+    value & flag
+    & info [ "construct" ]
+        ~doc:"Shor: use the DD-construct backend (n+1 qubits).")
+
+let run_cmd =
+  let action algo qubits marked modulus base rows cols cycles gates seed
+      strategy repeating construct samples stats =
+    if algo = "shor" then run_shor modulus base strategy construct
+    else begin
+      let circuit =
+        circuit_of_options algo qubits marked rows cols cycles gates seed
+      in
+      Format.printf "%a@." Circuit.pp circuit;
+      let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
+      let start = Unix.gettimeofday () in
+      Dd_sim.Engine.run ~strategy ~use_repeating:repeating engine circuit;
+      finish engine samples stats (Unix.gettimeofday () -. start)
+    end
+  in
+  let term =
+    Term.(
+      const action $ algo_arg $ qubits_arg $ marked_arg $ modulus_arg
+      $ base_arg $ rows_arg $ cols_arg $ cycles_arg $ gates_arg $ seed_arg
+      $ strategy_arg $ repeating_arg $ construct_arg $ samples_arg
+      $ stats_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate a built-in benchmark circuit.") term
+
+(* --- simulate (qasm) ---------------------------------------------- *)
+
+let qasm_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE.qasm" ~doc:"OpenQASM 2.0 input file.")
+
+let detect_repeats_arg =
+  Arg.(
+    value & flag
+    & info [ "detect-repeats" ]
+        ~doc:
+          "Recover repeated blocks from the gate stream and apply the \
+           DD-repeating treatment to them.")
+
+let simulate_cmd =
+  let action file strategy seed samples stats detect =
+    let source =
+      let ic = open_in file in
+      let length = in_channel_length ic in
+      let text = really_input_string ic length in
+      close_in ic;
+      text
+    in
+    let circuit = Qasm.of_string ~name:file source in
+    let circuit = if detect then Repeats.detect circuit else circuit in
+    Format.printf "%a@." Circuit.pp circuit;
+    let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
+    let start = Unix.gettimeofday () in
+    Dd_sim.Engine.run ~strategy ~use_repeating:detect engine circuit;
+    finish engine samples stats (Unix.gettimeofday () -. start)
+  in
+  let term =
+    Term.(
+      const action $ qasm_file_arg $ strategy_arg $ seed_arg $ samples_arg
+      $ stats_arg $ detect_repeats_arg)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Simulate an OpenQASM 2.0 file.") term
+
+(* --- export -------------------------------------------------------- *)
+
+let export_cmd =
+  let action algo qubits marked rows cols cycles gates seed =
+    let circuit =
+      circuit_of_options algo qubits marked rows cols cycles gates seed
+    in
+    print_string (Qasm.to_string circuit)
+  in
+  let term =
+    Term.(
+      const action $ algo_arg $ qubits_arg $ marked_arg $ rows_arg $ cols_arg
+      $ cycles_arg $ gates_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Print a built-in benchmark as OpenQASM 2.0.")
+    term
+
+(* --- dot ------------------------------------------------------------ *)
+
+let output_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write DOT to FILE.")
+
+let dot_cmd =
+  let action algo qubits marked rows cols cycles gates seed output =
+    let circuit =
+      circuit_of_options algo qubits marked rows cols cycles gates seed
+    in
+    let engine = Dd_sim.Engine.create Circuit.(circuit.qubits) in
+    Dd_sim.Engine.run engine circuit;
+    let dot = Dd.Dot.vector_to_dot (Dd_sim.Engine.state engine) in
+    match output with
+    | None -> print_string dot
+    | Some file ->
+      let oc = open_out file in
+      output_string oc dot;
+      close_out oc;
+      Printf.printf "wrote %s (%d state nodes)\n" file
+        (Dd_sim.Engine.state_node_count engine)
+  in
+  let term =
+    Term.(
+      const action $ algo_arg $ qubits_arg $ marked_arg $ rows_arg $ cols_arg
+      $ cycles_arg $ gates_arg $ seed_arg $ output_arg)
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Simulate a benchmark and export the final state DD as DOT.")
+    term
+
+(* --- optimize -------------------------------------------------------- *)
+
+let read_source file =
+  let ic = open_in file in
+  let length = in_channel_length ic in
+  let text = really_input_string ic length in
+  close_in ic;
+  text
+
+let optimize_cmd =
+  let action file =
+    let circuit = Qasm.of_string ~name:file (read_source file) in
+    let optimized = Optimize.optimize circuit in
+    Printf.eprintf "%d gates -> %d gates (verified equivalent: %b)\n"
+      (Circuit.gate_count circuit)
+      (Circuit.gate_count optimized)
+      (Dd_sim.Equivalence.equivalent circuit optimized);
+    print_string (Qasm.to_string optimized)
+  in
+  let term = Term.(const action $ qasm_file_arg) in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Peephole-optimise an OpenQASM file (cancellation, fusion, \
+          identity removal) and print the result; equivalence is checked \
+          with the DD-based verifier.")
+    term
+
+(* --- equiv ----------------------------------------------------------- *)
+
+let second_file_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"OTHER.qasm" ~doc:"Second OpenQASM 2.0 file.")
+
+let equiv_cmd =
+  let action file_a file_b =
+    let a = Qasm.of_string ~name:file_a (read_source file_a) in
+    let b = Qasm.of_string ~name:file_b (read_source file_b) in
+    match Dd_sim.Equivalence.check a b with
+    | Dd_sim.Equivalence.Equivalent ->
+      print_endline "equivalent";
+      exit 0
+    | Dd_sim.Equivalence.Equivalent_up_to_phase phase ->
+      Printf.printf "equivalent up to global phase %s\n"
+        (Dd_complex.Cnum.to_string phase);
+      exit 0
+    | Dd_sim.Equivalence.Not_equivalent ->
+      print_endline "NOT equivalent";
+      exit 1
+  in
+  let term = Term.(const action $ qasm_file_arg $ second_file_arg) in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:
+         "Check two OpenQASM files for equivalence by building both \
+          unitaries as DDs (matrix-matrix multiplication) and comparing \
+          canonically.")
+    term
+
+(* --- plot ------------------------------------------------------------ *)
+
+let figure_arg =
+  Arg.(
+    value & opt string "fig8"
+    & info [ "figure" ] ~docv:"FIG" ~doc:"Which figure: $(b,fig8) or $(b,fig9).")
+
+let plot_output_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE.svg" ~doc:"Write the SVG to FILE.")
+
+let bench_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"BENCH_OUTPUT" ~doc:"Output of bench/main.exe.")
+
+let plot_cmd =
+  let action file figure output =
+    let header, title, x_label =
+      match figure with
+      | "fig8" ->
+        ("Fig. 8", "Fig. 8: k-operations speed-up over sequential", "k")
+      | "fig9" ->
+        ("Fig. 9", "Fig. 9: max-size speed-up over sequential", "s_max")
+      | other -> failwith (Printf.sprintf "unknown figure %S" other)
+    in
+    let text = read_source file in
+    let series = Dd_sim.Sweep_plot.parse_sweep_table ~header text in
+    let svg = Dd_sim.Sweep_plot.render ~title ~x_label series in
+    match output with
+    | None -> print_string svg
+    | Some path ->
+      let oc = open_out path in
+      output_string oc svg;
+      close_out oc;
+      Printf.printf "wrote %s (%d series)\n" path (List.length series)
+  in
+  let term =
+    Term.(const action $ bench_file_arg $ figure_arg $ plot_output_arg)
+  in
+  Cmd.v
+    (Cmd.info "plot"
+       ~doc:
+         "Render the Fig. 8 / Fig. 9 strategy sweeps from recorded \
+          benchmark output as an SVG chart.")
+    term
+
+let () =
+  let doc = "decision-diagram based quantum-circuit simulator" in
+  let info = Cmd.info "ddsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; simulate_cmd; export_cmd; dot_cmd; optimize_cmd;
+            equiv_cmd; plot_cmd ]))

@@ -1,0 +1,1 @@
+examples/circuit_tools.ml: Circuit Dd Dd_complex Dd_sim Format Gate Grover Optimize Qft Repeats String

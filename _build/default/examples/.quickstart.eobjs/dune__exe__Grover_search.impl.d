@@ -1,0 +1,1 @@
+examples/grover_search.ml: Circuit Dd_sim Format Grover Sys Unix

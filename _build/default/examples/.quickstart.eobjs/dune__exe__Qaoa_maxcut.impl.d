@@ -1,0 +1,1 @@
+examples/qaoa_maxcut.ml: Dd_sim Format List Qaoa Sys

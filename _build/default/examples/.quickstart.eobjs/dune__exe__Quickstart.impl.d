@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Circuit Cnum Dd Dd_complex Dd_sim Format Gate Hashtbl List String

@@ -1,0 +1,1 @@
+examples/shor_factor.ml: Dd_sim Format Ntheory Shor Sys Unix

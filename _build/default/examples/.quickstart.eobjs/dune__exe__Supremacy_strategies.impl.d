@@ -1,0 +1,1 @@
+examples/supremacy_strategies.ml: Circuit Dd_sim Format List Printf Supremacy Sys Unix

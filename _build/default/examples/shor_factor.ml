@@ -1,0 +1,53 @@
+(* Factoring with Shor's algorithm: the full Beauregard circuit (2n+3
+   qubits, simulated gate by gate) versus the paper's DD-construct strategy
+   (modular-exponentiation oracles built directly as permutation DDs on n+1
+   qubits).
+
+   Run with: dune exec examples/shor_factor.exe [-- N [a]] *)
+
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let () =
+  let modulus, a =
+    match Sys.argv with
+    | [| _; modulus |] -> (int_of_string modulus, None)
+    | [| _; modulus; a |] -> (int_of_string modulus, Some (int_of_string a))
+    | _ -> (15, Some 7)
+  in
+  Format.printf "factoring N = %d@." modulus;
+  Format.printf "  Beauregard circuit needs %d qubits, DD-construct %d@."
+    (Shor.beauregard_qubits modulus)
+    (Shor.direct_qubits modulus);
+
+  let report label backend =
+    let result, seconds =
+      time (fun () -> Shor.factor ?a ~backend modulus)
+    in
+    (match result with
+    | Some (p, q) ->
+      Format.printf "  %-24s %d = %d * %d   (%.3f s)@." label modulus p q
+        seconds
+    | None ->
+      Format.printf "  %-24s no factors found (%.3f s)@." label seconds)
+  in
+  report "DD-construct (direct)" Shor.Direct;
+  report "Beauregard, sequential" (Shor.Beauregard Dd_sim.Strategy.Sequential);
+  report "Beauregard, max-size"
+    (Shor.Beauregard (Dd_sim.Strategy.Max_size 512));
+
+  (* one order-finding run in detail *)
+  match a with
+  | None -> ()
+  | Some a ->
+    let run = Shor.run_order_finding ~backend:Shor.Direct ~a modulus in
+    Format.printf
+      "order finding detail: measured phase %d/2^%d for a=%d; order %s \
+       (true order %d)@."
+      run.Shor.measured_phase run.Shor.phase_bits a
+      (match run.Shor.order with
+      | Some r -> string_of_int r
+      | None -> "not recovered this run")
+      (Ntheory.multiplicative_order a modulus)

@@ -1,0 +1,60 @@
+(* Quantum-supremacy-style random circuits: the workload from the paper's
+   Example 3/Fig. 5 where intermediate states develop large DDs, making
+   matrix-matrix combination pay off.  Prints the DD size of the state as
+   the simulation progresses, then compares strategies.
+
+   Run with: dune exec examples/supremacy_strategies.exe [-- rows cols cycles] *)
+
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let () =
+  let rows, cols, cycles =
+    match Sys.argv with
+    | [| _; rows; cols; cycles |] ->
+      (int_of_string rows, int_of_string cols, int_of_string cycles)
+    | _ -> (4, 4, 12)
+  in
+  let circuit = Supremacy.circuit ~rows ~cols ~cycles () in
+  Format.printf "%a@." Circuit.pp circuit;
+
+  (* Growth of the state DD, gate by gate (every 20 gates). *)
+  let n = rows * cols in
+  let engine = Dd_sim.Engine.create n in
+  Format.printf "state DD growth (gate index, nodes):@.";
+  List.iteri
+    (fun i gate ->
+      Dd_sim.Engine.apply_gate engine gate;
+      if i mod 20 = 19 then
+        Format.printf "  %4d %6d@." (i + 1)
+          (Dd_sim.Engine.state_node_count engine))
+    (Circuit.flatten circuit);
+  Format.printf "final state: %d nodes (dense would be %d amplitudes)@."
+    (Dd_sim.Engine.state_node_count engine)
+    (1 lsl n);
+
+  (* Strategy comparison. *)
+  let baseline = ref 1. in
+  let run label strategy =
+    let engine = Dd_sim.Engine.create n in
+    let (), seconds =
+      time (fun () -> Dd_sim.Engine.run ~strategy engine circuit)
+    in
+    let stats = Dd_sim.Engine.stats engine in
+    if strategy = Dd_sim.Strategy.Sequential then baseline := seconds;
+    Format.printf
+      "%-12s %8.3f s   speed-up %5.2f   mat-vec %5d   mat-mat %5d@." label
+      seconds (!baseline /. seconds) stats.Dd_sim.Sim_stats.mat_vec_mults
+      stats.Dd_sim.Sim_stats.mat_mat_mults
+  in
+  run "sequential" Dd_sim.Strategy.Sequential;
+  List.iter
+    (fun k ->
+      run (Printf.sprintf "k=%d" k) (Dd_sim.Strategy.K_operations k))
+    [ 2; 4; 8; 16 ];
+  List.iter
+    (fun s ->
+      run (Printf.sprintf "size=%d" s) (Dd_sim.Strategy.Max_size s))
+    [ 64; 256; 1024 ]

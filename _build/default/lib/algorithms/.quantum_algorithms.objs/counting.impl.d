@@ -1,0 +1,1 @@
+lib/algorithms/counting.ml: Array Circuit Cnum Dd Dd_complex Dd_sim Float Gate Grover List Qft Qpe

@@ -1,0 +1,1 @@
+lib/algorithms/counting.mli: Dd Dd_sim

@@ -1,0 +1,1 @@
+lib/algorithms/deutsch_jozsa.ml: Cnum Dd Dd_complex Dd_sim Gate List

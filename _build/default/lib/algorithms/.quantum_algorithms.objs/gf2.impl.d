@@ -1,0 +1,1 @@
+lib/algorithms/gf2.ml: List

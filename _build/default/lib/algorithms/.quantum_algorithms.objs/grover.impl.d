@@ -1,0 +1,1 @@
+lib/algorithms/grover.ml: Circuit Dd Dd_complex Dd_sim Float Gate List Printf

@@ -1,0 +1,1 @@
+lib/algorithms/grover.mli: Circuit Dd Dd_sim Gate

@@ -1,0 +1,1 @@
+lib/algorithms/ntheory.ml: List

@@ -1,0 +1,1 @@
+lib/algorithms/qaoa.ml: Circuit Dd_sim Float Gate List Printf

@@ -1,0 +1,1 @@
+lib/algorithms/qaoa.mli: Circuit Dd_sim

@@ -1,0 +1,1 @@
+lib/algorithms/qpe.ml: Array Circuit Dd_sim Gate List Qft

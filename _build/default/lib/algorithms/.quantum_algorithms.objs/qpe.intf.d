@@ -1,0 +1,1 @@
+lib/algorithms/qpe.mli: Circuit Dd_sim Gate

@@ -1,0 +1,1 @@
+lib/algorithms/shor.ml: Array Circuit Dd Dd_sim Float Gate Hashtbl List Ntheory Qft Random

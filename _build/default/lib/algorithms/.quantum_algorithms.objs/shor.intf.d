@@ -1,0 +1,1 @@
+lib/algorithms/shor.mli: Dd_sim Gate

@@ -1,0 +1,1 @@
+lib/algorithms/simon.ml: Dd Dd_sim Gate Gf2

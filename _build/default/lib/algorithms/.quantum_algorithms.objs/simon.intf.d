@@ -1,0 +1,1 @@
+lib/algorithms/simon.mli: Dd Dd_sim

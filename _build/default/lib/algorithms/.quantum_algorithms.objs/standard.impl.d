@@ -1,0 +1,1 @@
+lib/algorithms/standard.ml: Circuit Float Gate List Printf Random

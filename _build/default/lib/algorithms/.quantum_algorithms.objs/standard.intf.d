@@ -1,0 +1,1 @@
+lib/algorithms/standard.mli: Circuit

@@ -1,0 +1,1 @@
+lib/algorithms/stateprep.ml: Array Circuit Cnum Dd_complex Float Gate List

@@ -1,0 +1,1 @@
+lib/algorithms/stateprep.mli: Circuit Dd_complex

@@ -1,0 +1,1 @@
+lib/algorithms/supremacy.ml: Array Circuit Gate List Printf Random

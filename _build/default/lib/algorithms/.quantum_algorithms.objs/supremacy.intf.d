@@ -1,0 +1,1 @@
+lib/algorithms/supremacy.mli: Circuit

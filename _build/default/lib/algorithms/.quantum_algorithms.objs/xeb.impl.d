@@ -1,0 +1,1 @@
+lib/algorithms/xeb.ml: Cnum Dd_complex Dd_sim List Random

@@ -1,0 +1,1 @@
+lib/algorithms/xeb.mli: Dd_sim

@@ -1,0 +1,75 @@
+open Dd_complex
+
+type estimate = {
+  searched : int;
+  marked : int;
+  measured_phase : int;
+  estimated_count : float;
+}
+
+let oracle_dd ctx ~n marked =
+  let size = 1 lsl n in
+  let flags = Array.make size false in
+  List.iter
+    (fun m ->
+      if m < 0 || m >= size then invalid_arg "Counting: marked out of range";
+      if flags.(m) then invalid_arg "Counting: duplicate marked element";
+      flags.(m) <- true)
+    marked;
+  let minus_one = Cnum.of_float (-1.) in
+  Dd.Mdd.of_diagonal ctx ~n (fun x -> if flags.(x) then minus_one else Cnum.one)
+
+let grover_operator engine ~marked =
+  let n = Dd_sim.Engine.qubits engine in
+  let ctx = Dd_sim.Engine.context engine in
+  let oracle = oracle_dd ctx ~n marked in
+  let diffusion = Dd_sim.Engine.combine engine (Grover.diffusion_gates ~n) in
+  (* the gate realisation of the diffusion is -(2|s><s| - I); the global
+     sign is irrelevant for searching but becomes a relative phase once the
+     operator is controlled, so normalise to the textbook G here *)
+  Dd.Mdd.scale ctx (Cnum.of_float (-1.)) (Dd.Mdd.mul ctx diffusion oracle)
+
+(* G^(2^j), controlled from counting qubit j, lifted to the full
+   (n + precision)-qubit register: identity on the counting qubits below
+   the control, a top control, identity above. *)
+let lifted_controlled_power ctx ~n ~precision ~j power_dd =
+  let inner = Dd.Mdd.kron ctx (Dd.Mdd.identity ctx j) power_dd in
+  let controlled = Dd.Mdd.control_top ctx ~n:(n + j) inner in
+  Dd.Mdd.kron ctx (Dd.Mdd.identity ctx (precision - 1 - j)) controlled
+
+let estimate ?(seed = 0xC0) ~precision ~n ~marked () =
+  if precision < 1 then invalid_arg "Counting: need precision >= 1";
+  if n < 1 then invalid_arg "Counting: need a search register";
+  let qubits = n + precision in
+  let engine = Dd_sim.Engine.create ~seed qubits in
+  let ctx = Dd_sim.Engine.context engine in
+  (* uniform superposition on the search register, H on counting *)
+  for q = 0 to qubits - 1 do
+    Dd_sim.Engine.apply_gate engine (Gate.h q)
+  done;
+  let grover =
+    let search_engine = Dd_sim.Engine.create ~context:ctx n in
+    grover_operator search_engine ~marked
+  in
+  let power = ref grover in
+  for j = 0 to precision - 1 do
+    let lifted = lifted_controlled_power ctx ~n ~precision ~j !power in
+    Dd_sim.Engine.apply_matrix engine lifted;
+    if j < precision - 1 then power := Dd.Mdd.mul ctx !power !power
+  done;
+  let counting = Qpe.counting_register ~precision ~target_qubits:n in
+  let iqft =
+    Circuit.of_gates ~qubits (Qft.inverse_on_register counting)
+  in
+  Dd_sim.Engine.run engine iqft;
+  let y = Qpe.read_phase engine ~precision ~target_qubits:n in
+  let theta =
+    Float.pi *. float_of_int y /. float_of_int (1 lsl precision)
+  in
+  let count = float_of_int (1 lsl n) *. (sin theta *. sin theta) in
+  {
+    searched = 1 lsl n;
+    marked = List.length marked;
+    measured_phase = y;
+    estimated_count = count;
+  }

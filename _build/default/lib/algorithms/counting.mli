@@ -1,0 +1,24 @@
+(** Quantum counting: estimate how many basis states an oracle marks, by
+    phase estimation on the Grover iteration operator.
+
+    The controlled powers [G^(2^j)] are built as matrix DDs by repeated
+    squaring — matrix-matrix multiplication again doing the heavy lifting —
+    and lifted into the full register with Kronecker products and a top
+    control. *)
+
+type estimate = {
+  searched : int;  (** N = 2^n *)
+  marked : int;  (** the true count (from the oracle set) *)
+  measured_phase : int;
+  estimated_count : float;  (** N * sin^2(pi * y / 2^precision) *)
+}
+
+val grover_operator : Dd_sim.Engine.t -> marked:int list -> Dd.Mdd.edge
+(** The Grover iteration [D x O] as one matrix on the engine's width, with
+    an oracle marking the given set. *)
+
+val estimate :
+  ?seed:int -> precision:int -> n:int -> marked:int list -> unit -> estimate
+(** Run quantum counting with [precision] phase bits over an [n]-qubit
+    search space.  Raises [Invalid_argument] on duplicate or out-of-range
+    marked elements. *)

@@ -1,0 +1,24 @@
+open Dd_complex
+
+type verdict = Constant | Balanced
+
+let oracle_dd ctx ~n f =
+  let minus_one = Cnum.of_float (-1.) in
+  Dd.Mdd.of_diagonal ctx ~n (fun x -> if f x then minus_one else Cnum.one)
+
+let final_engine ~n f =
+  let engine = Dd_sim.Engine.create n in
+  let ctx = Dd_sim.Engine.context engine in
+  let hadamards = List.init n Gate.h in
+  List.iter (Dd_sim.Engine.apply_gate engine) hadamards;
+  Dd_sim.Engine.apply_matrix engine (oracle_dd ctx ~n f);
+  List.iter (Dd_sim.Engine.apply_gate engine) hadamards;
+  engine
+
+let classify_probability ~n f =
+  if n < 1 || n > 24 then invalid_arg "Deutsch_jozsa: bad width";
+  let engine = final_engine ~n f in
+  Cnum.mag2 (Dd_sim.Engine.amplitude engine 0)
+
+let run ~n f =
+  if classify_probability ~n f > 0.5 then Constant else Balanced

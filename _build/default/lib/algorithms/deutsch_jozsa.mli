@@ -1,0 +1,18 @@
+(** Deutsch-Jozsa in the phase-oracle formulation, with the oracle built
+    directly as a diagonal DD ({!Dd.Mdd.of_diagonal}) — the DD-construct
+    treatment applied to a textbook algorithm: no ancilla qubit, no gate
+    decomposition of the Boolean function. *)
+
+type verdict = Constant | Balanced
+
+val oracle_dd : Dd.Context.t -> n:int -> (int -> bool) -> Dd.Mdd.edge
+(** The phase oracle [|x> -> (-1)^(f x) |x>]. *)
+
+val run : n:int -> (int -> bool) -> verdict
+(** Decide whether [f] (promised constant or balanced on [2^n] inputs) is
+    constant, with one oracle application. *)
+
+val classify_probability : n:int -> (int -> bool) -> float
+(** Probability of measuring all-zeros (the "constant" outcome): [1] for a
+    constant [f], [0] for a balanced one; exposed for testing the promise
+    boundary. *)

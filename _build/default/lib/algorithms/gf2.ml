@@ -1,0 +1,64 @@
+type system = { n : int; mutable rows : int list (* in echelon form *) }
+
+let create n =
+  if n < 1 || n > 62 then invalid_arg "Gf2.create";
+  { n; rows = [] }
+
+let dot a b =
+  let rec parity x acc =
+    if x = 0 then acc else parity (x lsr 1) (acc <> (x land 1 = 1))
+  in
+  parity (a land b) false
+
+let leading_bit v =
+  let rec loop k = if v lsr k = 1 then k else loop (k + 1) in
+  loop 0
+
+(* reduce [v] against the echelon rows; insert if a non-zero remainder *)
+let add_equation system v =
+  let reduced =
+    List.fold_left
+      (fun v row ->
+        if v <> 0 && leading_bit v = leading_bit row then v lxor row else v)
+      v
+      (List.sort (fun a b -> compare (leading_bit b) (leading_bit a)) system.rows)
+  in
+  if reduced = 0 then false
+  else begin
+    system.rows <- reduced :: system.rows;
+    true
+  end
+
+let rank system = List.length system.rows
+
+let nullspace_vector system =
+  if rank system <> system.n - 1 then None
+  else begin
+    (* back-substitution: find the free column, set it to 1, solve *)
+    let rows =
+      List.sort (fun a b -> compare (leading_bit b) (leading_bit a))
+        system.rows
+    in
+    let pivots = List.map leading_bit rows in
+    let free =
+      let rec find k =
+        if k >= system.n then None
+        else if List.mem k pivots then find (k + 1)
+        else Some k
+      in
+      find 0
+    in
+    match free with
+    | None -> None
+    | Some free ->
+      let s = ref (1 lsl free) in
+      (* process rows from the lowest pivot upwards so each substitution
+         sees the already-fixed lower bits *)
+      let ascending = List.rev rows in
+      List.iter
+        (fun row ->
+          let pivot = leading_bit row in
+          if dot row !s then s := !s lxor (1 lsl pivot))
+        ascending;
+      if !s = 0 then None else Some !s
+  end

@@ -1,0 +1,22 @@
+(** Linear algebra over GF(2) on bit-vectors packed into ints — the
+    classical post-processing half of Simon's algorithm. *)
+
+type system
+(** A growing system of GF(2) linear equations [v . s = 0]. *)
+
+val create : int -> system
+(** [create n]: empty system over [n]-bit vectors. *)
+
+val add_equation : system -> int -> bool
+(** Insert a constraint vector (row-reduced on the fly).  Returns [true] if
+    the vector was independent of the existing rows. *)
+
+val rank : system -> int
+
+val nullspace_vector : system -> int option
+(** A non-zero [s] with [v . s = 0] for every inserted [v], if the system's
+    rank is [n - 1] (the Simon situation); [None] while the nullspace has
+    dimension other than one. *)
+
+val dot : int -> int -> bool
+(** GF(2) inner product (parity of the AND). *)

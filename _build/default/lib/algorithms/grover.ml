@@ -1,0 +1,64 @@
+let iterations n =
+  if n < 1 then invalid_arg "Grover.iterations";
+  let amplitude_angle = asin (1. /. sqrt (float_of_int (1 lsl n))) in
+  max 1 (int_of_float (Float.pi /. (4. *. amplitude_angle)))
+
+(* Sign flip on |marked>: Z on qubit 0 whose controls select the bits of
+   [marked] on qubits 1..n-1; when bit 0 of [marked] is 0, conjugating the
+   target with X moves the flip to the right branch. *)
+let oracle_gates ~n ~marked =
+  if n < 1 || marked < 0 || marked >= 1 lsl n then
+    invalid_arg "Grover.oracle_gates";
+  let controls =
+    List.init (n - 1) (fun i ->
+        let qubit = i + 1 in
+        if (marked lsr qubit) land 1 = 1 then Gate.ctrl qubit
+        else Gate.nctrl qubit)
+  in
+  let flip = Gate.make ~controls Gate.Z 0 in
+  if marked land 1 = 1 then [ flip ] else [ Gate.x 0; flip; Gate.x 0 ]
+
+let diffusion_gates ~n =
+  if n < 1 then invalid_arg "Grover.diffusion_gates";
+  let hs = List.init n Gate.h in
+  let xs = List.init n Gate.x in
+  let flip = Gate.mcz (List.init (n - 1) (fun i -> i + 1)) 0 in
+  hs @ xs @ [ flip ] @ xs @ hs
+
+let circuit ?iterations:count ~n ~marked () =
+  let count = match count with Some c -> c | None -> iterations n in
+  let init = List.map Circuit.gate (List.init n Gate.h) in
+  let body =
+    List.map Circuit.gate (oracle_gates ~n ~marked @ diffusion_gates ~n)
+  in
+  Circuit.create
+    ~name:(Printf.sprintf "grover_%d" n)
+    ~qubits:n
+    (init @ [ Circuit.repeat count body ])
+
+let success_probability engine ~marked =
+  Dd_complex.Cnum.mag2 (Dd_sim.Engine.amplitude engine marked)
+
+let oracle_dd ctx ~n ~marked =
+  if n < 1 || marked < 0 || marked >= 1 lsl n then
+    invalid_arg "Grover.oracle_dd";
+  let minus_one = Dd_complex.Cnum.of_float (-1.) in
+  Dd.Mdd.of_diagonal ctx ~n (fun i ->
+      if i = marked then minus_one else Dd_complex.Cnum.one)
+
+let iteration_dd engine ~marked =
+  let n = Dd_sim.Engine.qubits engine in
+  let ctx = Dd_sim.Engine.context engine in
+  let oracle = oracle_dd ctx ~n ~marked in
+  let diffusion = Dd_sim.Engine.combine engine (diffusion_gates ~n) in
+  Dd.Mdd.mul ctx diffusion oracle
+
+let run_construct ?iterations:count ~n ~marked () =
+  let count = match count with Some c -> c | None -> iterations n in
+  let engine = Dd_sim.Engine.create n in
+  List.iter (Dd_sim.Engine.apply_gate engine) (List.init n Gate.h);
+  let iteration = iteration_dd engine ~marked in
+  for _ = 1 to count do
+    Dd_sim.Engine.apply_matrix engine iteration
+  done;
+  engine

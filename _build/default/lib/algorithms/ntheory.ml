@@ -1,0 +1,77 @@
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let rec egcd a b =
+  if b = 0 then (a, 1, 0)
+  else
+    let g, x, y = egcd b (a mod b) in
+    (g, y, x - (a / b * y))
+
+let mod_inv a n =
+  let g, x, _ = egcd (((a mod n) + n) mod n) n in
+  if g <> 1 then invalid_arg "Ntheory.mod_inv: not coprime"
+  else ((x mod n) + n) mod n
+
+let mod_pow base exponent n =
+  if n <= 0 then invalid_arg "Ntheory.mod_pow: modulus must be positive";
+  let rec loop base exponent acc =
+    if exponent = 0 then acc
+    else
+      let acc = if exponent land 1 = 1 then acc * base mod n else acc in
+      loop (base * base mod n) (exponent lsr 1) acc
+  in
+  loop (((base mod n) + n) mod n) exponent (1 mod n)
+
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n mod 2 = 0 then false
+  else
+    let rec loop d = d * d > n || (n mod d <> 0 && loop (d + 2)) in
+    loop 3
+
+let bit_length n =
+  if n <= 0 then invalid_arg "Ntheory.bit_length: need a positive integer";
+  let rec loop n acc = if n = 0 then acc else loop (n lsr 1) (acc + 1) in
+  loop n 0
+
+let multiplicative_order a n =
+  if gcd a n <> 1 then invalid_arg "Ntheory.multiplicative_order: not coprime";
+  let a = ((a mod n) + n) mod n in
+  (* invariant: x = a^r mod n *)
+  let rec loop x r = if x = 1 then r else loop (x * a mod n) (r + 1) in
+  loop a 1
+
+let convergents num den =
+  (* standard recurrence p_k = a_k p_{k-1} + p_{k-2} on the quotient
+     sequence of the Euclidean algorithm *)
+  let rec loop num den p1 p0 q1 q0 acc =
+    if den = 0 then List.rev acc
+    else
+      let a = num / den in
+      let p = (a * p1) + p0 and q = (a * q1) + q0 in
+      loop den (num mod den) p p1 q q1 ((p, q) :: acc)
+  in
+  loop num den 1 0 0 1 []
+
+let order_from_phase ~a ~modulus ~y ~bits =
+  if y = 0 then None
+  else
+    let candidates =
+      convergents y (1 lsl bits)
+      |> List.concat_map (fun (_, q) -> [ q; 2 * q; 3 * q; 4 * q ])
+      |> List.filter (fun q -> q > 0 && q < 2 * modulus)
+      |> List.sort_uniq compare
+    in
+    List.find_opt (fun q -> mod_pow a q modulus = 1) candidates
+
+let factor_from_order ~a ~modulus ~order =
+  if order mod 2 = 1 then None
+  else
+    let half = mod_pow a (order / 2) modulus in
+    if half = modulus - 1 then None
+    else
+      let p = gcd (half - 1) modulus and q = gcd (half + 1) modulus in
+      let nontrivial f = f > 1 && f < modulus in
+      if nontrivial p then Some (p, modulus / p)
+      else if nontrivial q then Some (q, modulus / q)
+      else None

@@ -1,0 +1,38 @@
+(** Classical number theory needed by Shor's algorithm: modular arithmetic,
+    continued fractions, and order/factor extraction.  Works on native ints;
+    moduli up to 2^20 are safe (intermediate products stay below 2^62). *)
+
+val gcd : int -> int -> int
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b = (g, x, y)] with [a*x + b*y = g]. *)
+
+val mod_inv : int -> int -> int
+(** [mod_inv a n]: inverse of [a] modulo [n]; raises [Invalid_argument] when
+    [gcd a n <> 1]. *)
+
+val mod_pow : int -> int -> int -> int
+(** [mod_pow base exponent n]. *)
+
+val is_prime : int -> bool
+(** Deterministic trial division; fine for the sizes used here. *)
+
+val bit_length : int -> int
+(** Bits needed to represent a positive integer. *)
+
+val multiplicative_order : int -> int -> int
+(** [multiplicative_order a n]: smallest [r > 0] with [a^r = 1 (mod n)];
+    raises [Invalid_argument] when [gcd a n <> 1]. *)
+
+val convergents : int -> int -> (int * int) list
+(** [convergents num den]: the continued-fraction convergents [(p, q)] of
+    [num/den], in order of increasing [q]. *)
+
+val order_from_phase : a:int -> modulus:int -> y:int -> bits:int -> int option
+(** Recover the multiplicative order of [a] mod [modulus] from a phase
+    measurement [y] out of [2^bits], via continued fractions (checking
+    convergent denominators and their small multiples). *)
+
+val factor_from_order : a:int -> modulus:int -> order:int -> (int * int) option
+(** The classical post-processing step of Shor: non-trivial factors from an
+    even order, if [a^(order/2) <> -1 (mod modulus)]. *)

@@ -1,0 +1,79 @@
+type graph = (int * int) list
+
+let validate_graph ~n graph =
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Qaoa: edge endpoint out of range";
+      if u = v then invalid_arg "Qaoa: self loop")
+    graph
+
+(* exp(-i gamma Z_u Z_v) up to global phase: CX u->v, RZ(2 gamma) v,
+   CX u->v. *)
+let cost_layer graph gamma =
+  List.concat_map
+    (fun (u, v) -> [ Gate.cx u v; Gate.rz (2. *. gamma) v; Gate.cx u v ])
+    graph
+
+let mixer_layer n beta = List.init n (fun q -> Gate.rx (2. *. beta) q)
+
+let circuit ~n graph params =
+  validate_graph ~n graph;
+  let layers =
+    List.concat_map
+      (fun (gamma, beta) -> cost_layer graph gamma @ mixer_layer n beta)
+      params
+  in
+  Circuit.of_gates
+    ~name:(Printf.sprintf "qaoa_p%d" (List.length params))
+    ~qubits:n
+    (List.init n Gate.h @ layers)
+
+let cut_expectation engine graph =
+  List.fold_left
+    (fun acc (u, v) ->
+      let zz =
+        Dd_sim.Observable.expectation engine
+          [ (u, Dd_sim.Observable.Z); (v, Dd_sim.Observable.Z) ]
+      in
+      acc +. ((1. -. zz) /. 2.))
+    0. graph
+
+let run ~n graph params =
+  let engine = Dd_sim.Engine.create n in
+  Dd_sim.Engine.run engine (circuit ~n graph params);
+  engine
+
+let grid_search ?(resolution = 12) ~n graph () =
+  validate_graph ~n graph;
+  let best = ref ((0., 0.), neg_infinity) in
+  for i = 0 to resolution - 1 do
+    for j = 0 to resolution - 1 do
+      let gamma = Float.pi *. float_of_int i /. float_of_int resolution in
+      let beta =
+        Float.pi /. 2. *. float_of_int j /. float_of_int resolution
+      in
+      let engine = run ~n graph [ (gamma, beta) ] in
+      let value = cut_expectation engine graph in
+      let _, best_value = !best in
+      if value > best_value then best := ((gamma, beta), value)
+    done
+  done;
+  !best
+
+let max_cut_brute_force ~n graph =
+  validate_graph ~n graph;
+  if n > 20 then invalid_arg "Qaoa.max_cut_brute_force: too many qubits";
+  let best = ref 0 in
+  for assignment = 0 to (1 lsl n) - 1 do
+    let cut =
+      List.fold_left
+        (fun acc (u, v) ->
+          if (assignment lsr u) land 1 <> (assignment lsr v) land 1 then
+            acc + 1
+          else acc)
+        0 graph
+    in
+    if cut > !best then best := cut
+  done;
+  !best

@@ -1,0 +1,30 @@
+(** QAOA for MaxCut: parameterised circuits whose cost expectation is read
+    back through {!Dd_sim.Observable} — a variational workload where many
+    short simulations run against the same circuit skeleton. *)
+
+type graph = (int * int) list
+(** Undirected edges over qubits [0 .. n-1]. *)
+
+val validate_graph : n:int -> graph -> unit
+(** Raises [Invalid_argument] on out-of-range or self-loop edges. *)
+
+val circuit : n:int -> graph -> (float * float) list -> Circuit.t
+(** [circuit ~n graph params]: H layer, then per [(gamma, beta)] layer the
+    cost evolution [exp(-i gamma Z_u Z_v)] on every edge (as CX-RZ-CX)
+    followed by the [RX(2 beta)] mixer on every qubit. *)
+
+val cut_expectation : Dd_sim.Engine.t -> graph -> float
+(** Expected cut value [sum over edges of (1 - <Z_u Z_v>) / 2] in the
+    engine's current state. *)
+
+val run : n:int -> graph -> (float * float) list -> Dd_sim.Engine.t
+(** Simulate the QAOA circuit and return the engine. *)
+
+val grid_search :
+  ?resolution:int -> n:int -> graph -> unit -> (float * float) * float
+(** One-layer parameter grid search; returns the best [(gamma, beta)] and
+    its cut expectation. *)
+
+val max_cut_brute_force : n:int -> graph -> int
+(** Classical exhaustive MaxCut (for comparing against the quantum
+    expectation in tests and examples). *)

@@ -1,0 +1,32 @@
+let swap_gates a b = [ Gate.cx a b; Gate.cx b a; Gate.cx a b ]
+
+(* MSB-first cascade: H on the most significant remaining bit, then
+   controlled phases from every lower bit, finally a bit-order reversal. *)
+let on_register ?(swaps = true) register =
+  let m = Array.length register in
+  if m = 0 then invalid_arg "Qft.on_register: empty register";
+  let gates = ref [] in
+  let emit gate = gates := gate :: !gates in
+  for j = m - 1 downto 0 do
+    emit (Gate.h register.(j));
+    for k = j - 1 downto 0 do
+      let theta = Float.pi /. float_of_int (1 lsl (j - k)) in
+      emit (Gate.cphase theta register.(k) register.(j))
+    done
+  done;
+  if swaps then
+    for i = 0 to (m / 2) - 1 do
+      List.iter emit (swap_gates register.(i) register.(m - 1 - i))
+    done;
+  List.rev !gates
+
+let inverse_on_register ?swaps register =
+  List.rev_map Gate.adjoint (on_register ?swaps register)
+
+let circuit n =
+  Circuit.of_gates ~name:(Printf.sprintf "qft_%d" n) ~qubits:n
+    (on_register (Array.init n (fun i -> i)))
+
+let inverse_circuit n =
+  Circuit.of_gates ~name:(Printf.sprintf "iqft_%d" n) ~qubits:n
+    (inverse_on_register (Array.init n (fun i -> i)))

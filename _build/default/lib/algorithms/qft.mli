@@ -1,0 +1,17 @@
+(** Quantum Fourier transform circuits.
+
+    Conventions: a register is an array of engine qubit indices with element
+    [0] the least significant bit.  [QFT |x> = 2^(-m/2) sum_y
+    exp(2 pi i x y / 2^m) |y>]; with [~swaps:true] (the default) output bit
+    [j] ends up on register element [j]. *)
+
+val on_register : ?swaps:bool -> int array -> Gate.t list
+(** QFT gate sequence on the given register. *)
+
+val inverse_on_register : ?swaps:bool -> int array -> Gate.t list
+(** Adjoint of {!on_register}. *)
+
+val circuit : int -> Circuit.t
+(** QFT (with swaps) on a full [n]-qubit register. *)
+
+val inverse_circuit : int -> Circuit.t

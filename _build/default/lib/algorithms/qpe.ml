@@ -1,0 +1,33 @@
+let counting_register ~precision ~target_qubits =
+  Array.init precision (fun j -> target_qubits + j)
+
+let circuit ~precision ~target_qubits ~controlled_power =
+  if precision < 1 then invalid_arg "Qpe.circuit: need precision >= 1";
+  if target_qubits < 0 then invalid_arg "Qpe.circuit: bad target width";
+  let counting = counting_register ~precision ~target_qubits in
+  let hadamards = Array.to_list (Array.map Gate.h counting) in
+  let powers =
+    List.concat
+      (List.init precision (fun j ->
+           controlled_power ~control:counting.(j) ~power:(1 lsl j)))
+  in
+  let gates =
+    hadamards @ powers @ Qft.inverse_on_register counting
+  in
+  Circuit.of_gates ~name:"qpe"
+    ~qubits:(target_qubits + precision)
+    gates
+
+let read_phase engine ~precision ~target_qubits =
+  let counting = counting_register ~precision ~target_qubits in
+  Array.to_list counting
+  |> List.mapi (fun j qubit ->
+         if Dd_sim.Engine.measure_qubit engine ~qubit then 1 lsl j else 0)
+  |> List.fold_left ( + ) 0
+
+let estimate ?(prepare = []) ~precision ~target_qubits ~controlled_power () =
+  let qubits = target_qubits + precision in
+  let engine = Dd_sim.Engine.create qubits in
+  List.iter (Dd_sim.Engine.apply_gate engine) prepare;
+  Dd_sim.Engine.run engine (circuit ~precision ~target_qubits ~controlled_power);
+  read_phase engine ~precision ~target_qubits

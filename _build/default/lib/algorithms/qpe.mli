@@ -1,0 +1,35 @@
+(** Generic quantum phase estimation.
+
+    The counting register occupies the [precision] qubits above the target
+    register; the caller supplies the controlled powers of the unitary (as
+    gate lists), exactly like Shor's order finding does with its modular
+    multipliers. *)
+
+val counting_register : precision:int -> target_qubits:int -> int array
+(** Engine qubits of the counting register, least significant first. *)
+
+val circuit :
+  precision:int ->
+  target_qubits:int ->
+  controlled_power:(control:int -> power:int -> Gate.t list) ->
+  Circuit.t
+(** Textbook QPE: Hadamards on the counting register, controlled
+    [U^(2^j)] from counting qubit [j], inverse QFT on the counting
+    register.  [controlled_power ~control ~power] must return gates
+    applying [U^power] to the target register under [control].  The
+    eigenstate preparation on the target register is the caller's job
+    (prepend it to the returned circuit). *)
+
+val read_phase : Dd_sim.Engine.t -> precision:int -> target_qubits:int -> int
+(** Measure the counting register; the phase estimate is
+    [result / 2^precision]. *)
+
+val estimate :
+  ?prepare:Gate.t list ->
+  precision:int ->
+  target_qubits:int ->
+  controlled_power:(control:int -> power:int -> Gate.t list) ->
+  unit ->
+  int
+(** Convenience driver: fresh engine, optional eigenstate preparation,
+    QPE circuit, measurement. *)

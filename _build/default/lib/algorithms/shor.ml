@@ -1,0 +1,259 @@
+type backend = Beauregard of Dd_sim.Strategy.t | Direct
+
+type layout = {
+  n : int;
+  x : int array;
+  b : int array;
+  ancilla : int;
+  control : int;
+}
+
+let layout modulus =
+  if modulus < 3 then invalid_arg "Shor.layout: modulus too small";
+  let n = Ntheory.bit_length modulus in
+  {
+    n;
+    x = Array.init n (fun i -> i);
+    b = Array.init (n + 1) (fun i -> n + i);
+    ancilla = (2 * n) + 1;
+    control = (2 * n) + 2;
+  }
+
+let beauregard_qubits modulus = (2 * Ntheory.bit_length modulus) + 3
+let direct_qubits modulus = Ntheory.bit_length modulus + 1
+
+(* ------------------------------------------------------------------ *)
+(* Beauregard building blocks                                          *)
+(* ------------------------------------------------------------------ *)
+
+let two_pi = 2. *. Float.pi
+
+(* Adding a classical constant to a Fourier-transformed register is
+   diagonal: multiply the |y> amplitude by exp(2 pi i a y / 2^m), i.e. one
+   phase gate per register bit. *)
+let phi_add_gates ?(controls = []) ~register a =
+  let m = Array.length register in
+  let mask = (1 lsl m) - 1 in
+  let a = a land mask in
+  let gates = ref [] in
+  for j = 0 to m - 1 do
+    let contribution = a * (1 lsl j) land mask in
+    if contribution <> 0 then begin
+      let theta = two_pi *. float_of_int contribution /. float_of_int (mask + 1) in
+      gates := Gate.make ~controls (Gate.Phase theta) register.(j) :: !gates
+    end
+  done;
+  List.rev !gates
+
+let phi_sub_gates ?controls ~register a =
+  List.rev_map Gate.adjoint (phi_add_gates ?controls ~register a)
+
+let qft_b layout = Qft.on_register layout.b
+let iqft_b layout = Qft.inverse_on_register layout.b
+
+(* Beauregard Fig. 5: controlled phi-ADD(a) mod N on the Fourier-space b
+   register; the ancilla records the comparison and is restored to |0>. *)
+let modular_adder_gates ?(controls = []) ~layout ~modulus a =
+  let msb = layout.b.(layout.n) in
+  let anc = layout.ancilla in
+  List.concat
+    [
+      phi_add_gates ~controls ~register:layout.b a;
+      phi_sub_gates ~register:layout.b modulus;
+      iqft_b layout;
+      [ Gate.cx msb anc ];
+      qft_b layout;
+      phi_add_gates ~controls:[ Gate.ctrl anc ] ~register:layout.b modulus;
+      phi_sub_gates ~controls ~register:layout.b a;
+      iqft_b layout;
+      [ Gate.x msb; Gate.cx msb anc; Gate.x msb ];
+      qft_b layout;
+      phi_add_gates ~controls ~register:layout.b a;
+    ]
+
+(* Beauregard Fig. 6: b <- b + a*x mod N, controlled on [control]. *)
+let cmult_gates ~layout ~control ~modulus a =
+  let adders =
+    List.concat
+      (List.init layout.n (fun i ->
+           let summand = a * (1 lsl i) mod modulus in
+           modular_adder_gates
+             ~controls:[ Gate.ctrl control; Gate.ctrl layout.x.(i) ]
+             ~layout ~modulus summand))
+  in
+  List.concat [ qft_b layout; adders; iqft_b layout ]
+
+let cswap_gates ~control p q =
+  [ Gate.cx q p; Gate.ccx control p q; Gate.cx q p ]
+
+(* Beauregard Fig. 7: controlled x <- a*x mod N via multiply, swap,
+   inverse-multiply with a^-1. *)
+let controlled_ua_gates ~layout ~control ~modulus a =
+  if Ntheory.gcd a modulus <> 1 then
+    invalid_arg "Shor.controlled_ua_gates: base not coprime to modulus";
+  let a = a mod modulus in
+  let a_inv = Ntheory.mod_inv a modulus in
+  let swaps =
+    List.concat
+      (List.init layout.n (fun i ->
+           cswap_gates ~control layout.x.(i) layout.b.(i)))
+  in
+  List.concat
+    [
+      cmult_gates ~layout ~control ~modulus a;
+      swaps;
+      List.rev_map Gate.adjoint (cmult_gates ~layout ~control ~modulus a_inv);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Order finding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type order_run = {
+  modulus : int;
+  base : int;
+  phase_bits : int;
+  measured_phase : int;
+  order : int option;
+  engine_qubits : int;
+}
+
+(* Iterative (semiclassical) phase estimation shared by both backends.
+   Round k (k = bits-1 downto 0) applies controlled-U^(2^k) and measures
+   bit (bits-1-k) of the phase numerator y, correcting with the already
+   measured lower bits first. *)
+let iterative_phase_estimation ~bits ~control ~apply_controlled_power engine =
+  let measured = ref 0 in
+  for k = bits - 1 downto 0 do
+    Dd_sim.Engine.apply_gate engine (Gate.h control);
+    apply_controlled_power k;
+    let bit_index = bits - 1 - k in
+    let known = !measured land ((1 lsl bit_index) - 1) in
+    if known <> 0 then begin
+      let theta =
+        -.two_pi *. float_of_int known /. float_of_int (1 lsl (bit_index + 1))
+      in
+      Dd_sim.Engine.apply_gate engine (Gate.phase theta control)
+    end;
+    Dd_sim.Engine.apply_gate engine (Gate.h control);
+    let outcome = Dd_sim.Engine.measure_qubit engine ~qubit:control in
+    if outcome then begin
+      measured := !measured lor (1 lsl bit_index);
+      Dd_sim.Engine.apply_gate engine (Gate.x control)
+    end
+  done;
+  !measured
+
+let run_beauregard ~seed ~strategy ~a modulus =
+  let lay = layout modulus in
+  let qubits = beauregard_qubits modulus in
+  let bits = 2 * lay.n in
+  let engine = Dd_sim.Engine.create ~seed qubits in
+  Dd_sim.Engine.apply_gate engine (Gate.x lay.x.(0));
+  let apply_controlled_power k =
+    let multiplier = Ntheory.mod_pow a (1 lsl k) modulus in
+    let gates =
+      controlled_ua_gates ~layout:lay ~control:lay.control ~modulus multiplier
+    in
+    let segment =
+      Circuit.of_gates ~name:"cua" ~qubits gates
+    in
+    Dd_sim.Engine.run ~strategy engine segment
+  in
+  let y =
+    iterative_phase_estimation ~bits ~control:lay.control
+      ~apply_controlled_power engine
+  in
+  (y, bits, qubits)
+
+let run_direct ~seed ~a modulus =
+  let n = Ntheory.bit_length modulus in
+  let qubits = n + 1 in
+  let control = n in
+  let bits = 2 * n in
+  let engine = Dd_sim.Engine.create ~seed qubits in
+  let ctx = Dd_sim.Engine.context engine in
+  Dd_sim.Engine.apply_gate engine (Gate.x 0);
+  let oracle_cache = Hashtbl.create 16 in
+  let controlled_oracle multiplier =
+    match Hashtbl.find_opt oracle_cache multiplier with
+    | Some dd -> dd
+    | None ->
+      let f x = if x < modulus then x * multiplier mod modulus else x in
+      let u = Dd.Mdd.of_permutation ctx ~n f in
+      let cu = Dd.Mdd.control_top ctx ~n u in
+      Hashtbl.add oracle_cache multiplier cu;
+      cu
+  in
+  let apply_controlled_power k =
+    let multiplier = Ntheory.mod_pow a (1 lsl k) modulus in
+    Dd_sim.Engine.apply_matrix engine (controlled_oracle multiplier)
+  in
+  let y =
+    iterative_phase_estimation ~bits ~control ~apply_controlled_power engine
+  in
+  (y, bits, qubits)
+
+let run_order_finding ?(seed = 97) ~backend ~a modulus =
+  if modulus < 3 then invalid_arg "Shor.run_order_finding: modulus too small";
+  if a < 2 || a >= modulus then
+    invalid_arg "Shor.run_order_finding: base out of range";
+  if Ntheory.gcd a modulus <> 1 then
+    invalid_arg "Shor.run_order_finding: base shares a factor";
+  let y, bits, engine_qubits =
+    match backend with
+    | Beauregard strategy -> run_beauregard ~seed ~strategy ~a modulus
+    | Direct -> run_direct ~seed ~a modulus
+  in
+  let order = Ntheory.order_from_phase ~a ~modulus ~y ~bits in
+  {
+    modulus;
+    base = a;
+    phase_bits = bits;
+    measured_phase = y;
+    order;
+    engine_qubits;
+  }
+
+let find_order ?(seed = 97) ?(attempts = 8) ~backend ~a modulus =
+  let rec loop attempt =
+    if attempt >= attempts then None
+    else
+      let run = run_order_finding ~seed:(seed + (131 * attempt)) ~backend ~a
+          modulus
+      in
+      match run.order with Some r -> Some r | None -> loop (attempt + 1)
+  in
+  loop 0
+
+let factor ?(seed = 97) ?(attempts = 8) ?a ~backend modulus =
+  if modulus < 4 then invalid_arg "Shor.factor: nothing to factor";
+  if modulus mod 2 = 0 then Some (2, modulus / 2)
+  else if Ntheory.is_prime modulus then None
+  else begin
+    let rng = Random.State.make [| seed; modulus |] in
+    let candidate attempt =
+      match (a, attempt) with
+      | Some fixed, 0 -> fixed
+      | _, _ -> 2 + Random.State.int rng (modulus - 3)
+    in
+    let rec loop attempt =
+      if attempt >= attempts then None
+      else
+        let base = candidate attempt in
+        let g = Ntheory.gcd base modulus in
+        if g > 1 && g < modulus then Some (g, modulus / g)
+        else
+          let next () = loop (attempt + 1) in
+          match
+            find_order ~seed:(seed + (977 * attempt)) ~attempts:4 ~backend
+              ~a:base modulus
+          with
+          | None -> next ()
+          | Some order -> (
+            match Ntheory.factor_from_order ~a:base ~modulus ~order with
+            | Some (p, q) -> Some (min p q, max p q)
+            | None -> next ())
+    in
+    loop 0
+  end

@@ -1,0 +1,90 @@
+(** Shor's algorithm with two interchangeable order-finding backends:
+
+    - {e Beauregard}: the full 2n+3-qubit circuit of the paper's reference
+      [27] (QFT-based constant adders, doubly-controlled modular adders,
+      controlled modular multipliers, one re-used phase-estimation qubit
+      with intermediate measurement).  Its gate stream is simulated under a
+      configurable {!Dd_sim.Strategy.t} — this is the [t_sota] /
+      [t_general] configuration of the paper's Table II.
+    - {e Direct} (the paper's {e DD-construct} strategy): the modular
+      exponentiation oracle [x -> a^(2^k) * x mod N] is built directly as a
+      permutation DD on [n] qubits, so the whole algorithm runs on [n + 1]
+      qubits with one matrix-vector multiplication per phase-estimation
+      round — no gate decomposition, no working qubits.
+
+    Register conventions for the Beauregard circuit (N has [n] bits):
+    qubits [0..n-1] hold [x] (initialised to 1), qubits [n..2n] are the
+    [n+1]-bit adder target [b], qubit [2n+1] is the comparison ancilla, and
+    qubit [2n+2] is the re-used control. *)
+
+type backend = Beauregard of Dd_sim.Strategy.t | Direct
+
+type layout = {
+  n : int;  (** bits of the modulus *)
+  x : int array;  (** multiplier register, element 0 = LSB *)
+  b : int array;  (** adder target (n+1 qubits) *)
+  ancilla : int;
+  control : int;
+}
+
+val layout : int -> layout
+(** [layout modulus] — the Beauregard register layout for that modulus. *)
+
+val beauregard_qubits : int -> int
+(** Total qubit count [2n + 3] for a modulus. *)
+
+val direct_qubits : int -> int
+(** Total qubit count [n + 1] for the DD-construct backend. *)
+
+(** {2 Circuit building blocks (exposed for tests and ablations)} *)
+
+val phi_add_gates :
+  ?controls:Gate.control list -> register:int array -> int -> Gate.t list
+(** Draper constant adder in Fourier space: adds the classical constant
+    modulo [2^m] to an [m]-qubit register that is QFT-transformed (with
+    swaps). *)
+
+val phi_sub_gates :
+  ?controls:Gate.control list -> register:int array -> int -> Gate.t list
+
+val modular_adder_gates :
+  ?controls:Gate.control list -> layout:layout -> modulus:int -> int ->
+  Gate.t list
+(** Beauregard's (doubly) controlled [phi-ADD(a) mod N] gadget; acts on the
+    Fourier-transformed [b] register and the ancilla. *)
+
+val cmult_gates :
+  layout:layout -> control:int -> modulus:int -> int -> Gate.t list
+(** Controlled [b <- b + a*x mod N] (with the QFT pair around the modular
+    adders included). *)
+
+val controlled_ua_gates :
+  layout:layout -> control:int -> modulus:int -> int -> Gate.t list
+(** Controlled [x <- a*x mod N] ([gcd a N = 1] required): multiplier,
+    controlled swap, inverse multiplier with [a^-1]. *)
+
+(** {2 Order finding and factoring} *)
+
+type order_run = {
+  modulus : int;
+  base : int;
+  phase_bits : int;  (** 2n bits of precision *)
+  measured_phase : int;  (** the y with phi ~ y / 2^phase_bits *)
+  order : int option;  (** recovered order, verified *)
+  engine_qubits : int;
+}
+
+val run_order_finding :
+  ?seed:int -> backend:backend -> a:int -> int -> order_run
+(** One quantum order-finding run for [a] modulo the given modulus. *)
+
+val find_order : ?seed:int -> ?attempts:int -> backend:backend -> a:int ->
+  int -> int option
+(** Repeat {!run_order_finding} (fresh randomness per attempt, default 8
+    attempts) until an order is recovered. *)
+
+val factor :
+  ?seed:int -> ?attempts:int -> ?a:int -> backend:backend -> int ->
+  (int * int) option
+(** Full Shor: returns a non-trivial factor pair of an odd composite.  When
+    [a] is supplied it is tried first (paper benchmarks fix [a]). *)

@@ -1,0 +1,57 @@
+let canonical_function ~n ~s x =
+  if s <= 0 || s >= 1 lsl n then invalid_arg "Simon: bad period";
+  min x (x lxor s)
+
+let oracle_dd ctx ~n f =
+  if n < 1 || n > 12 then invalid_arg "Simon.oracle_dd: bad width";
+  let mask = (1 lsl n) - 1 in
+  let permutation z =
+    let x = z land mask in
+    let y = z lsr n in
+    let image = f x in
+    if image land lnot mask <> 0 then
+      invalid_arg "Simon.oracle_dd: image out of range";
+    x lor ((y lxor image) lsl n)
+  in
+  Dd.Mdd.of_permutation ctx ~n:(2 * n) permutation
+
+let sample_orthogonal engine ~n oracle =
+  Dd_sim.Engine.reset engine;
+  for q = 0 to n - 1 do
+    Dd_sim.Engine.apply_gate engine (Gate.h q)
+  done;
+  Dd_sim.Engine.apply_matrix engine oracle;
+  for q = 0 to n - 1 do
+    Dd_sim.Engine.apply_gate engine (Gate.h q)
+  done;
+  let rec read q acc =
+    if q >= n then acc
+    else
+      let bit = Dd_sim.Engine.measure_qubit engine ~qubit:q in
+      read (q + 1) (if bit then acc lor (1 lsl q) else acc)
+  in
+  read 0 0
+
+let recover_period ?(seed = 0xDD) ?max_rounds ~n f =
+  let max_rounds =
+    match max_rounds with Some m -> m | None -> 20 * n
+  in
+  if n = 1 then
+    (* one-bit period can only be 1; verify against the function *)
+    if f 0 = f 1 then Some 1 else None
+  else begin
+    let engine = Dd_sim.Engine.create ~seed (2 * n) in
+    let ctx = Dd_sim.Engine.context engine in
+    let oracle = oracle_dd ctx ~n f in
+    let system = Gf2.create n in
+    let rec loop rounds =
+      if Gf2.rank system = n - 1 then Gf2.nullspace_vector system
+      else if rounds >= max_rounds then None
+      else begin
+        let v = sample_orthogonal engine ~n oracle in
+        if v <> 0 then ignore (Gf2.add_equation system v);
+        loop (rounds + 1)
+      end
+    in
+    loop 0
+  end

@@ -1,0 +1,27 @@
+(** Simon's problem: recover the hidden period [s] of a 2-to-1 function
+    [f] with [f x = f (x XOR s)].
+
+    The XOR oracle [|x>|y> -> |x>|f x XOR y>] on [2n] qubits is built
+    directly as a permutation DD (the DD-construct treatment again — no
+    gate decomposition of [f]); each quantum round yields a vector
+    orthogonal to [s] over GF(2), and {!Gf2} solves for [s] after [n - 1]
+    independent rounds. *)
+
+val canonical_function : n:int -> s:int -> int -> int
+(** The standard 2-to-1 instance with period [s]: maps [x] to
+    [min x (x XOR s)]. *)
+
+val oracle_dd : Dd.Context.t -> n:int -> (int -> int) -> Dd.Mdd.edge
+(** XOR oracle on [2n] qubits (input register low, output register high);
+    [f] must map [n]-bit values to [n]-bit values. *)
+
+val sample_orthogonal : Dd_sim.Engine.t -> n:int -> Dd.Mdd.edge -> int
+(** One Simon round on a [2n]-qubit engine (which is reset): returns a
+    measured vector [v] with [v . s = 0]. *)
+
+val recover_period : ?seed:int -> ?max_rounds:int -> n:int -> (int -> int)
+  -> int option
+(** Full algorithm: repeat rounds until [n - 1] independent equations are
+    collected (at most [max_rounds], default [20 n]), then solve.  The
+    returned [s] satisfies [f x = f (x XOR s)] by construction of the
+    instance; [None] if the rounds never produced enough equations. *)

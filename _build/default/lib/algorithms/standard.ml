@@ -1,0 +1,46 @@
+let bell () =
+  Circuit.of_gates ~name:"bell" ~qubits:2 [ Gate.h 0; Gate.cx 0 1 ]
+
+let ghz n =
+  if n < 1 then invalid_arg "Standard.ghz";
+  let chain = List.init (n - 1) (fun i -> Gate.cx i (i + 1)) in
+  Circuit.of_gates ~name:(Printf.sprintf "ghz_%d" n) ~qubits:n
+    (Gate.h 0 :: chain)
+
+let bernstein_vazirani ~n ~secret =
+  if n < 1 || secret < 0 || secret >= 1 lsl n then
+    invalid_arg "Standard.bernstein_vazirani";
+  let hs = List.init n Gate.h in
+  let oracle =
+    List.filteri (fun i _ -> (secret lsr i) land 1 = 1) (List.init n Gate.z)
+  in
+  Circuit.of_gates
+    ~name:(Printf.sprintf "bv_%d_%d" n secret)
+    ~qubits:n
+    (hs @ oracle @ hs)
+
+let random_circuit ?(seed = 1) ~qubits ~gates () =
+  if qubits < 1 then invalid_arg "Standard.random_circuit";
+  let rng = Random.State.make [| seed |] in
+  let random_qubit () = Random.State.int rng qubits in
+  let random_gate () =
+    let target = random_qubit () in
+    match Random.State.int rng (if qubits >= 2 then 8 else 6) with
+    | 0 -> Gate.h target
+    | 1 -> Gate.t_gate target
+    | 2 -> Gate.s target
+    | 3 -> Gate.x target
+    | 4 -> Gate.rz (Random.State.float rng (2. *. Float.pi)) target
+    | 5 -> Gate.ry (Random.State.float rng (2. *. Float.pi)) target
+    | pick ->
+      let rec other () =
+        let q = random_qubit () in
+        if q = target then other () else q
+      in
+      let control = other () in
+      if pick = 6 then Gate.cx control target else Gate.cz control target
+  in
+  Circuit.of_gates
+    ~name:(Printf.sprintf "random_%d_%d_%d" qubits gates seed)
+    ~qubits
+    (List.init gates (fun _ -> random_gate ()))

@@ -1,0 +1,16 @@
+(** Small standard circuits used by the examples and tests. *)
+
+val bell : unit -> Circuit.t
+(** Two-qubit Bell pair |00> + |11>. *)
+
+val ghz : int -> Circuit.t
+(** n-qubit GHZ state. *)
+
+val bernstein_vazirani : n:int -> secret:int -> Circuit.t
+(** Bernstein-Vazirani on an [n]-bit secret with a phase-oracle formulation
+    (no ancilla): measuring all qubits yields [secret] with certainty. *)
+
+val random_circuit :
+  ?seed:int -> qubits:int -> gates:int -> unit -> Circuit.t
+(** Random circuit over {H, T, S, X, Rz, CX, CZ} — a correctness workload
+    for comparing simulators. *)

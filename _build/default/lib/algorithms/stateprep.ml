@@ -1,0 +1,93 @@
+open Dd_complex
+
+(* The standard recursive scheme, processing qubits MSB first: at level k
+   (qubit q = k), for every assignment [prefix] of the more significant
+   qubits, rotate qubit q by the angle that splits the probability mass of
+   that branch, under a control pattern selecting [prefix]; phases are
+   applied the same way with controlled Phase gates at the leaves. *)
+
+let circuit amplitudes =
+  let size = Array.length amplitudes in
+  if size = 0 || size land (size - 1) <> 0 then
+    invalid_arg "Stateprep.circuit: length must be a power of two";
+  let rec log2 k acc = if k = 1 then acc else log2 (k lsr 1) (acc + 1) in
+  let n = log2 size 0 in
+  if n > 12 then invalid_arg "Stateprep.circuit: too many qubits";
+  if n = 0 then invalid_arg "Stateprep.circuit: need at least one qubit";
+  let norm =
+    sqrt (Array.fold_left (fun acc a -> acc +. Cnum.mag2 a) 0. amplitudes)
+  in
+  if norm < 1e-12 then invalid_arg "Stateprep.circuit: zero vector";
+  let amps = Array.map (fun a -> Cnum.scale (1. /. norm) a) amplitudes in
+  (* mass.(level) gives, per prefix, the probability mass of the block *)
+  let mass level prefix =
+    (* block of indices whose top (n - level) bits... level counts qubits
+       remaining below: block size 2^level, starting at prefix * 2^level *)
+    let start = prefix lsl level in
+    let acc = ref 0. in
+    for i = start to start + (1 lsl level) - 1 do
+      acc := !acc +. Cnum.mag2 amps.(i)
+    done;
+    !acc
+  in
+  let gates = ref [] in
+  let emit g = gates := g :: !gates in
+  (* rotations, MSB (qubit n-1) downwards *)
+  for qubit = n - 1 downto 0 do
+    let prefix_bits = n - 1 - qubit in
+    for prefix = 0 to (1 lsl prefix_bits) - 1 do
+      let total = mass (qubit + 1) prefix in
+      if total > 1e-24 then begin
+        let p_one = mass qubit ((prefix lsl 1) lor 1) /. total in
+        let theta = 2. *. asin (sqrt (Float.min 1. p_one)) in
+        if abs_float theta > 1e-12 then begin
+          let controls =
+            List.init prefix_bits (fun j ->
+                (* prefix bit j (MSB of the prefix first) sits on qubit
+                   n-1-j *)
+                let control_qubit = n - 1 - j in
+                if (prefix lsr (prefix_bits - 1 - j)) land 1 = 1 then
+                  Gate.ctrl control_qubit
+                else Gate.nctrl control_qubit)
+          in
+          emit (Gate.make ~controls (Gate.Ry theta) qubit)
+        end
+      end
+    done
+  done;
+  (* phases: one controlled Phase per basis state with non-trivial phase;
+     when bit 0 of the index is 0, conjugating the target with X moves the
+     phase to the right branch *)
+  for index = 0 to size - 1 do
+    let a = amps.(index) in
+    if Cnum.mag a > 1e-12 then begin
+      let phase = atan2 (Cnum.im a) (Cnum.re a) in
+      if abs_float phase > 1e-12 then begin
+        let controls =
+          List.init (n - 1) (fun j ->
+              let control_qubit = j + 1 in
+              if (index lsr control_qubit) land 1 = 1 then
+                Gate.ctrl control_qubit
+              else Gate.nctrl control_qubit)
+        in
+        let phase_gate = Gate.make ~controls (Gate.Phase phase) 0 in
+        if index land 1 = 1 then emit phase_gate
+        else begin
+          emit (Gate.x 0);
+          emit phase_gate;
+          emit (Gate.x 0)
+        end
+      end
+    end
+  done;
+  Circuit.of_gates ~name:"stateprep" ~qubits:n (List.rev !gates)
+
+let w_state n =
+  if n < 1 then invalid_arg "Stateprep.w_state";
+  let amp = Cnum.of_float (1. /. sqrt (float_of_int n)) in
+  let amplitudes =
+    Array.init (1 lsl n) (fun i ->
+        (* exactly one bit set *)
+        if i land (i - 1) = 0 && i <> 0 then amp else Cnum.zero)
+  in
+  circuit amplitudes

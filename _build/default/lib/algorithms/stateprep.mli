@@ -1,0 +1,15 @@
+(** State preparation: synthesise a circuit that maps [|0...0>] to a given
+    amplitude vector (Shende-Bullock-Markov-style multiplexed rotations;
+    the multiplexors are expressed directly as gates with mixed-polarity
+    control patterns, which the DD gate builder handles natively). *)
+
+val circuit : Dd_complex.Cnum.t array -> Circuit.t
+(** [circuit amplitudes] — amplitudes must have power-of-two length and
+    non-zero norm (they are normalised internally).  The resulting circuit
+    has O(2^n) gates, so this is for small registers (raises above 12
+    qubits).  The prepared state equals the normalised input up to global
+    phase. *)
+
+val w_state : int -> Circuit.t
+(** The n-qubit W state [(|100...> + |010...> + ... + |0...01>)/sqrt n],
+    prepared through {!circuit}. *)

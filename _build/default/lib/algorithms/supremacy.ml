@@ -1,0 +1,88 @@
+(* Eight staggered CZ configurations: four vertical and four horizontal,
+   each activating every fourth bond with a per-row/column offset so that
+   every grid edge fires once per period. *)
+let cz_layer ~rows ~cols t =
+  let qubit r c = (r * cols) + c in
+  let conf = ((t mod 8) + 8) mod 8 in
+  let pairs = ref [] in
+  if conf < 4 then begin
+    let residue = [| 0; 2; 1; 3 |].(conf) in
+    for r = 0 to rows - 2 do
+      for c = 0 to cols - 1 do
+        if (r + (2 * (c mod 2))) mod 4 = residue then
+          pairs := (qubit r c, qubit (r + 1) c) :: !pairs
+      done
+    done
+  end
+  else begin
+    let residue = [| 0; 2; 1; 3 |].(conf - 4) in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 2 do
+        if (c + (2 * (r mod 2))) mod 4 = residue then
+          pairs := (qubit r c, qubit r (c + 1)) :: !pairs
+      done
+    done
+  end;
+  List.rev !pairs
+
+type last_gate = Was_h | Was_t | Was_sx | Was_sy | Was_cz of last_gate
+(* [Was_cz previous] remembers the last single-qubit gate through CZ
+   cycles, so "different from the previous single-qubit gate" works. *)
+
+let circuit ?(seed = 2019) ~rows ~cols ~cycles () =
+  if rows < 1 || cols < 1 then invalid_arg "Supremacy.circuit";
+  let qubits = rows * cols in
+  let rng = Random.State.make [| seed |] in
+  let last = Array.make qubits Was_h in
+  let had_t = Array.make qubits false in
+  let in_previous_cz = Array.make qubits false in
+  let gates = ref [] in
+  let emit gate = gates := gate :: !gates in
+  List.iter emit (List.init qubits Gate.h);
+  for t = 0 to cycles - 1 do
+    let layer = cz_layer ~rows ~cols t in
+    let in_current_cz = Array.make qubits false in
+    List.iter
+      (fun (a, b) ->
+        in_current_cz.(a) <- true;
+        in_current_cz.(b) <- true)
+      layer;
+    (* single-qubit gates go on qubits that rested this cycle but
+       interacted in the previous one *)
+    for q = 0 to qubits - 1 do
+      if in_previous_cz.(q) && not in_current_cz.(q) then
+        if not had_t.(q) then begin
+          emit (Gate.t_gate q);
+          had_t.(q) <- true;
+          last.(q) <- Was_t
+        end
+        else begin
+          let rec strip = function Was_cz prev -> strip prev | g -> g in
+          let pick_sx =
+            match strip last.(q) with
+            | Was_sx -> false
+            | Was_sy -> true
+            | Was_h | Was_t | Was_cz _ -> Random.State.bool rng
+          in
+          if pick_sx then begin
+            emit (Gate.sx q);
+            last.(q) <- Was_sx
+          end
+          else begin
+            emit (Gate.sy q);
+            last.(q) <- Was_sy
+          end
+        end
+    done;
+    List.iter
+      (fun (a, b) ->
+        emit (Gate.cz a b);
+        last.(a) <- Was_cz last.(a);
+        last.(b) <- Was_cz last.(b))
+      layer;
+    Array.blit in_current_cz 0 in_previous_cz 0 qubits
+  done;
+  Circuit.of_gates
+    ~name:(Printf.sprintf "supremacy_%dx%d_d%d" rows cols cycles)
+    ~qubits
+    (List.rev !gates)

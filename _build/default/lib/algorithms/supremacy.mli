@@ -1,0 +1,20 @@
+(** Random-circuit workloads in the style of the Google quantum-supremacy
+    proposal (Boixo et al., the paper's reference [11]): a 2D qubit grid,
+    cyclically staggered CZ layers, and single-qubit gates drawn from
+    {T, sqrt(X), sqrt(Y)} under the published placement rules.  These are
+    the "supremacy_depth_qubits" benchmarks of the paper's evaluation —
+    their states develop large DDs quickly, which is exactly the regime
+    where combining operations pays off.
+
+    Instance-level randomness necessarily differs from Google's original
+    circuit files (see DESIGN.md, substitutions). *)
+
+val cz_layer : rows:int -> cols:int -> int -> (int * int) list
+(** [cz_layer ~rows ~cols t]: the CZ pairs (as qubit-index pairs) of the
+    configuration used at cycle [t] (configurations repeat with period 8).
+    Qubit index is [row * cols + col]. *)
+
+val circuit :
+  ?seed:int -> rows:int -> cols:int -> cycles:int -> unit -> Circuit.t
+(** Full instance: an initial Hadamard layer followed by [cycles] cycles of
+    a CZ layer plus rule-driven single-qubit gates. *)

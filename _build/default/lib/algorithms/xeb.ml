@@ -1,0 +1,25 @@
+open Dd_complex
+
+let probability engine index =
+  Cnum.mag2 (Dd_sim.Engine.amplitude engine index)
+
+let linear_fidelity engine samples =
+  match samples with
+  | [] -> invalid_arg "Xeb.linear_fidelity: no samples"
+  | _ :: _ ->
+    let n = Dd_sim.Engine.qubits engine in
+    let mean =
+      List.fold_left (fun acc x -> acc +. probability engine x) 0. samples
+      /. float_of_int (List.length samples)
+    in
+    (float_of_int (1 lsl n) *. mean) -. 1.
+
+let sample_and_score ?(shots = 500) engine =
+  linear_fidelity engine
+    (List.init shots (fun _ -> Dd_sim.Engine.sample engine))
+
+let uniform_score ?(shots = 500) ?(seed = 0xAB) engine =
+  let n = Dd_sim.Engine.qubits engine in
+  let rng = Random.State.make [| seed |] in
+  linear_fidelity engine
+    (List.init shots (fun _ -> Random.State.int rng (1 lsl n)))

@@ -1,0 +1,22 @@
+(** Cross-entropy benchmarking (XEB) for random-circuit sampling, the
+    figure of merit of the supremacy experiments the paper's [supremacy]
+    benchmarks come from.
+
+    The linear XEB fidelity of samples [x_1..x_m] against an ideal state is
+    [2^n * mean(p(x_i)) - 1]: about [1] for samples drawn from the ideal
+    (Porter-Thomas) distribution, [0] for uniform noise.  Amplitude lookups
+    are single DD path walks, so scoring is cheap even for wide
+    registers. *)
+
+val linear_fidelity : Dd_sim.Engine.t -> int list -> float
+(** Score a list of sampled basis-state indices against the engine's
+    current state. *)
+
+val sample_and_score : ?shots:int -> Dd_sim.Engine.t -> float
+(** Draw [shots] (default 500) samples from the engine's own state and
+    score them — an ideal sampler, expected to score near 1 on
+    Porter-Thomas-shaped states. *)
+
+val uniform_score : ?shots:int -> ?seed:int -> Dd_sim.Engine.t -> float
+(** Score uniformly random bitstrings — a maximally noisy sampler,
+    expected to score near 0. *)

@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Array Cnum Dd_complex Float Format List Printf String

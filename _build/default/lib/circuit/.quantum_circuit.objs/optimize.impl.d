@@ -1,0 +1,1 @@
+lib/circuit/optimize.ml: Array Circuit Cnum Dd_complex Gate List

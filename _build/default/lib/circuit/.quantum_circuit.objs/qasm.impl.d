@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Buffer Circuit Cnum Dd_complex Float Gate List Printf String

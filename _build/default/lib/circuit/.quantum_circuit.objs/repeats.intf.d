@@ -1,0 +1,1 @@
+lib/circuit/repeats.mli: Circuit

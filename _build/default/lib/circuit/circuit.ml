@@ -1,0 +1,94 @@
+type op = Gate of Gate.t | Repeat of { count : int; body : op list }
+type t = { qubits : int; name : string; ops : op list }
+
+let rec validate_op qubits op =
+  match op with
+  | Gate gate ->
+    let touched = Gate.qubits gate in
+    List.iter
+      (fun q ->
+        if q < 0 || q >= qubits then
+          invalid_arg
+            (Printf.sprintf "Circuit: qubit %d out of range (%d qubits)" q
+               qubits))
+      touched;
+    let sorted = List.sort compare touched in
+    let rec dup = function
+      | a :: (b :: _ as rest) -> a = b || dup rest
+      | [ _ ] | [] -> false
+    in
+    if dup sorted then
+      invalid_arg "Circuit: gate touches the same qubit twice"
+  | Repeat { count; body } ->
+    if count < 0 then invalid_arg "Circuit: negative repeat count";
+    List.iter (validate_op qubits) body
+
+let create ?(name = "circuit") ~qubits ops =
+  if qubits <= 0 then invalid_arg "Circuit.create: need at least one qubit";
+  List.iter (validate_op qubits) ops;
+  { qubits; name; ops }
+
+let of_gates ?name ~qubits gates =
+  create ?name ~qubits (List.map (fun g -> Gate g) gates)
+
+let gate g = Gate g
+let repeat count body = Repeat { count; body }
+
+let flatten circuit =
+  let buf = ref [] in
+  let rec walk op =
+    match op with
+    | Gate g -> buf := g :: !buf
+    | Repeat { count; body } ->
+      for _ = 1 to count do
+        List.iter walk body
+      done
+  in
+  List.iter walk circuit.ops;
+  List.rev !buf
+
+let rec op_gate_count = function
+  | Gate _ -> 1
+  | Repeat { count; body } ->
+    count * List.fold_left (fun acc op -> acc + op_gate_count op) 0 body
+
+let gate_count circuit =
+  List.fold_left (fun acc op -> acc + op_gate_count op) 0 circuit.ops
+
+let depth circuit =
+  let level = Array.make circuit.qubits 0 in
+  let place gate =
+    let touched = Gate.qubits gate in
+    let next = 1 + List.fold_left (fun acc q -> max acc level.(q)) 0 touched in
+    List.iter (fun q -> level.(q) <- next) touched
+  in
+  List.iter place (flatten circuit);
+  Array.fold_left max 0 level
+
+let append a b =
+  if a.qubits <> b.qubits then
+    invalid_arg "Circuit.append: qubit counts differ";
+  { a with name = a.name ^ "+" ^ b.name; ops = a.ops @ b.ops }
+
+let adjoint circuit =
+  let rec invert_ops ops = List.rev_map invert_op ops
+  and invert_op = function
+    | Gate g -> Gate (Gate.adjoint g)
+    | Repeat { count; body } -> Repeat { count; body = invert_ops body }
+  in
+  { circuit with name = circuit.name ^ "_dg"; ops = invert_ops circuit.ops }
+
+let counts_by_name circuit =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun g ->
+      let key = Gate.name g in
+      let current = try Hashtbl.find table key with Not_found -> 0 in
+      Hashtbl.replace table key (current + 1))
+    (flatten circuit);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort compare
+
+let pp fmt circuit =
+  Format.fprintf fmt "%s: %d qubits, %d gates, depth %d" circuit.name
+    circuit.qubits (gate_count circuit) (depth circuit)

@@ -1,0 +1,40 @@
+(** Quantum circuits: sequences of gates with optional [Repeat] blocks.
+
+    Repeat blocks preserve the structural knowledge ("identical sub-circuits
+    repeated several times", paper Section IV-B) that the [DD-repeating]
+    strategy exploits; flattening unrolls them for strategy-agnostic
+    simulation. *)
+
+type op = Gate of Gate.t | Repeat of { count : int; body : op list }
+
+type t = private { qubits : int; name : string; ops : op list }
+
+val create : ?name:string -> qubits:int -> op list -> t
+(** Validates that every gate touches distinct, in-range qubits and that
+    repeat counts are non-negative; raises [Invalid_argument] otherwise. *)
+
+val of_gates : ?name:string -> qubits:int -> Gate.t list -> t
+
+val gate : Gate.t -> op
+val repeat : int -> op list -> op
+
+val flatten : t -> Gate.t list
+(** Unroll all repeat blocks into a flat gate list, in application order. *)
+
+val gate_count : t -> int
+(** Number of gates after unrolling. *)
+
+val depth : t -> int
+(** Circuit depth under the usual greedy qubit-availability schedule. *)
+
+val append : t -> t -> t
+(** Concatenate two circuits on the same number of qubits. *)
+
+val adjoint : t -> t
+(** Reverse the circuit and invert every gate. *)
+
+val counts_by_name : t -> (string * int) list
+(** Gate histogram (sorted by name), e.g. [("cx", 12); ("h", 4)]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: name, qubit count, gate count, depth. *)

@@ -1,0 +1,156 @@
+open Dd_complex
+
+let qubit_sets_disjoint a b =
+  List.for_all (fun q -> not (List.mem q b)) a
+
+(* Map a pass over every contiguous gate run, recursing into repeat
+   bodies.  [pass] receives and returns a plain gate list. *)
+let rec map_runs pass ops =
+  let flush run acc =
+    match run with
+    | [] -> acc
+    | _ :: _ ->
+      List.fold_left
+        (fun acc g -> Circuit.Gate g :: acc)
+        acc
+        (pass (List.rev run))
+  in
+  let rec walk ops run acc =
+    match ops with
+    | [] -> List.rev (flush run acc)
+    | Circuit.Gate g :: rest -> walk rest (g :: run) acc
+    | Circuit.Repeat { count; body } :: rest ->
+      let acc = flush run acc in
+      let block = Circuit.Repeat { count; body = map_runs pass body } in
+      walk rest [] (block :: acc)
+  in
+  walk ops [] []
+
+let apply_pass pass circuit =
+  Circuit.create
+    ~name:Circuit.(circuit.name)
+    ~qubits:Circuit.(circuit.qubits)
+    (map_runs pass Circuit.(circuit.ops))
+
+(* --- cancel adjacent inverse pairs --------------------------------- *)
+
+(* For gate [g] at the head, search forward for [adjoint g], sliding over
+   gates with disjoint qubit support (they commute with g, so the pair is
+   effectively adjacent). *)
+let cancel_pass gates =
+  let rec try_cancel g rest skipped =
+    match rest with
+    | [] -> None
+    | candidate :: tail ->
+      if candidate = Gate.adjoint g then
+        (* [skipped] was accumulated in reverse; restore the original
+           order of the slid-over gates *)
+        Some (List.rev_append skipped tail)
+      else if qubit_sets_disjoint (Gate.qubits g) (Gate.qubits candidate)
+      then try_cancel g tail (candidate :: skipped)
+      else None
+  in
+  let rec walk = function
+    | [] -> []
+    | g :: rest -> (
+      match try_cancel g rest [] with
+      | Some remaining -> walk remaining
+      | None -> g :: walk rest)
+  in
+  walk gates
+
+let cancel_inverses circuit = apply_pass cancel_pass circuit
+
+(* --- fuse single-qubit runs ----------------------------------------- *)
+
+let mat_mul_2x2 a b =
+  (* row-major [|m00;m01;m10;m11|]; result = a * b *)
+  [|
+    Cnum.add (Cnum.mul a.(0) b.(0)) (Cnum.mul a.(1) b.(2));
+    Cnum.add (Cnum.mul a.(0) b.(1)) (Cnum.mul a.(1) b.(3));
+    Cnum.add (Cnum.mul a.(2) b.(0)) (Cnum.mul a.(3) b.(2));
+    Cnum.add (Cnum.mul a.(2) b.(1)) (Cnum.mul a.(3) b.(3));
+  |]
+
+let fusible (g : Gate.t) = g.controls = []
+
+let fuse_pass gates =
+  let rec collect qubit rest kept fused count =
+    match rest with
+    | [] -> (List.rev kept, fused, count)
+    | (candidate : Gate.t) :: tail ->
+      if fusible candidate && candidate.target = qubit then
+        collect qubit tail kept
+          (mat_mul_2x2 (Gate.matrix candidate.kind) fused)
+          (count + 1)
+      else if not (List.mem qubit (Gate.qubits candidate)) then
+        collect qubit tail (candidate :: kept) fused count
+      else (List.rev kept, fused, count)
+  in
+  let rec walk = function
+    | [] -> []
+    | (g : Gate.t) :: rest ->
+      if not (fusible g) then g :: walk rest
+      else begin
+        let consumed_prefix, fused, count =
+          collect g.target rest [] (Gate.matrix g.kind) 1
+        in
+        if count < 2 then g :: walk rest
+        else begin
+          (* [consumed_prefix] holds the slid-over gates in order; the
+             remainder of the list starts after everything we visited *)
+          let visited = count - 1 + List.length consumed_prefix in
+          let rec drop k l =
+            if k = 0 then l
+            else match l with [] -> [] | _ :: t -> drop (k - 1) t
+          in
+          let tail = drop visited rest in
+          let fused_gate =
+            Gate.make
+              (Gate.Custom { matrix = fused; label = "fused" })
+              g.target
+          in
+          fused_gate :: walk (consumed_prefix @ tail)
+        end
+      end
+  in
+  walk gates
+
+let fuse_single_qubit circuit = apply_pass fuse_pass circuit
+
+(* --- drop (phase-)identity gates ------------------------------------ *)
+
+let tol = 1e-12
+
+let is_global_phase_identity m =
+  Cnum.approx_zero ~tol m.(1)
+  && Cnum.approx_zero ~tol m.(2)
+  && Cnum.approx_equal ~tol m.(0) m.(3)
+
+let is_exact_identity m =
+  is_global_phase_identity m && Cnum.approx_equal ~tol m.(0) Cnum.one
+
+let identity_pass gates =
+  List.filter
+    (fun (g : Gate.t) ->
+      let m = Gate.matrix g.kind in
+      (* a controlled "identity up to phase" is a relative phase and must
+         stay; only the exact identity may be dropped *)
+      if g.controls = [] then not (is_global_phase_identity m)
+      else not (is_exact_identity m))
+    gates
+
+let drop_identities circuit = apply_pass identity_pass circuit
+
+let optimize ?(max_rounds = 10) circuit =
+  let rec loop circuit round =
+    if round >= max_rounds then circuit
+    else
+      let before = Circuit.gate_count circuit in
+      let circuit =
+        circuit |> cancel_inverses |> drop_identities |> fuse_single_qubit
+      in
+      if Circuit.gate_count circuit >= before then circuit
+      else loop circuit (round + 1)
+  in
+  loop circuit 0

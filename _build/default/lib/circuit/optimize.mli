@@ -1,0 +1,24 @@
+(** Peephole circuit optimisation.
+
+    Fewer elementary operations means fewer multiplications for the
+    simulator, orthogonally to the paper's combination strategies.  Three
+    passes are provided, plus a fixpoint driver:
+
+    - {!cancel_inverses}: drop adjacent gate pairs [g; adjoint g] acting on
+      the same qubits (e.g. [h q; h q] or [cx a b; cx a b]).
+    - {!fuse_single_qubit}: merge runs of single-qubit, uncontrolled gates
+      on one qubit into a single [Gate.Custom] 2x2 unitary.
+    - {!drop_identities}: remove gates whose matrix is the identity up to
+      global phase (e.g. [rz 0.], [phase 0.]).
+
+    All passes preserve semantics exactly (same unitary, including global
+    phase, except {!drop_identities} which may change the global phase).
+    Repeat blocks are optimised within their bodies, never across their
+    boundary, so the structure DD-repeating relies on survives. *)
+
+val cancel_inverses : Circuit.t -> Circuit.t
+val fuse_single_qubit : Circuit.t -> Circuit.t
+val drop_identities : Circuit.t -> Circuit.t
+
+val optimize : ?max_rounds:int -> Circuit.t -> Circuit.t
+(** Run all passes to a fixpoint (bounded by [max_rounds], default 10). *)

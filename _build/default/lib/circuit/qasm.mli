@@ -1,0 +1,19 @@
+(** OpenQASM 2.0 subset: export of circuits whose gates have a standard
+    spelling, and a parser for the common gate set (enough to load external
+    benchmark circuits).
+
+    Export lowers negative controls by conjugating the control qubit with
+    [x] gates.  Gates with no QASM 2.0 spelling (e.g. multi-controlled
+    rotations with three or more controls, or the non-standard [sy]) raise
+    {!Unsupported}. *)
+
+exception Unsupported of string
+exception Parse_error of { line : int; message : string }
+
+val to_string : Circuit.t -> string
+(** OpenQASM 2.0 source for the circuit (repeat blocks are unrolled). *)
+
+val of_string : ?name:string -> string -> Circuit.t
+(** Parse OpenQASM 2.0 source.  Supports one [qreg]; [creg], [measure],
+    [barrier] and comments are ignored; gate parameters may use [pi],
+    numeric literals, parentheses and [+ - * /]. *)

@@ -1,0 +1,63 @@
+(* Greedy periodic-run detection on the flattened gate array.  At each
+   position the candidate period maximising covered length (with at least
+   two repetitions) wins; ties prefer the shorter period so that the block
+   body stays small (a small body is what DD-repeating wants to combine). *)
+
+let repetitions gates start period limit =
+  let count = ref 1 in
+  let matches offset =
+    let rec loop i =
+      i >= period
+      || gates.(start + i) = gates.(start + offset + i) && loop (i + 1)
+    in
+    loop 0
+  in
+  let rec grow offset =
+    if start + offset + period <= limit && matches offset then begin
+      incr count;
+      grow (offset + period)
+    end
+  in
+  grow period;
+  !count
+
+let detect ?(min_period = 2) ?(max_period = 256) ?(min_gates = 8) circuit =
+  if min_period < 1 || max_period < min_period then
+    invalid_arg "Repeats.detect: bad period bounds";
+  let gates = Array.of_list (Circuit.flatten circuit) in
+  let total = Array.length gates in
+  let ops = ref [] in
+  let emit_gates first last =
+    for i = last downto first do
+      ops := Circuit.gate gates.(i) :: !ops
+    done
+  in
+  let rec scan position =
+    if position < total then begin
+      let best = ref None in
+      let upper = min max_period ((total - position) / 2) in
+      for period = min_period to upper do
+        let count = repetitions gates position period total in
+        let covered = period * count in
+        if count >= 2 && covered >= min_gates then
+          match !best with
+          | Some (_, best_covered) when best_covered >= covered -> ()
+          | Some _ | None -> best := Some (period, covered)
+      done;
+      match !best with
+      | Some (period, covered) ->
+        let body =
+          List.init period (fun i -> Circuit.gate gates.(position + i))
+        in
+        ops := Circuit.repeat (covered / period) body :: !ops;
+        scan (position + covered)
+      | None ->
+        emit_gates position position;
+        scan (position + 1)
+    end
+  in
+  scan 0;
+  Circuit.create
+    ~name:(Circuit.(circuit.name) ^ "+repeats")
+    ~qubits:Circuit.(circuit.qubits)
+    (List.rev !ops)

@@ -1,0 +1,19 @@
+(** Automatic detection of repeated gate blocks.
+
+    The paper's DD-repeating strategy needs to know that a sub-circuit
+    repeats (Section IV-B, "there exist several quantum algorithms where
+    identical sub-circuits are repeated several times").  Circuits built by
+    [Grover.circuit] carry that structure explicitly; circuits loaded from
+    OpenQASM do not.  This pass recovers it: a greedy left-to-right scan
+    that, at each position, looks for the period whose consecutive
+    repetitions cover the most gates and rewrites them into a
+    [Circuit.Repeat] block. *)
+
+val detect : ?min_period:int -> ?max_period:int -> ?min_gates:int ->
+  Circuit.t -> Circuit.t
+(** [detect circuit] rewrites maximal periodic runs of the flattened gate
+    list into [Repeat] blocks.  A run is kept when it repeats at least
+    twice and covers at least [min_gates] gates (default 8).  Periods
+    between [min_period] (default 2) and [max_period] (default 256) gates
+    are considered.  The result is semantically identical to the input
+    ([flatten] yields the same gate list). *)

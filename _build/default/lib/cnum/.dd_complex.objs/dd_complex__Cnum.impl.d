@@ -1,0 +1,1 @@
+lib/cnum/cnum.ml: Format Printf

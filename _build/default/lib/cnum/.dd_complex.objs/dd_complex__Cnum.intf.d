@@ -1,0 +1,1 @@
+lib/cnum/cnum.mli: Format

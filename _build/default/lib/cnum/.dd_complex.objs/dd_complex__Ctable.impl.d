@@ -1,0 +1,1 @@
+lib/cnum/ctable.ml: Cnum Hashtbl

@@ -1,0 +1,1 @@
+lib/cnum/ctable.mli: Cnum

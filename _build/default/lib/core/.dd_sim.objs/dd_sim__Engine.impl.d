@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Circuit Cnum Dd Dd_complex Gate List Random Sim_stats Strategy

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Circuit Dd Dd_complex Gate Random Sim_stats Strategy

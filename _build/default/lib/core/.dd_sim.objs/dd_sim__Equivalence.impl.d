@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Circuit Cnum Dd Dd_complex Engine Float Random

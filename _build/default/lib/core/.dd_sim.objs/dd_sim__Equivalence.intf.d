@@ -1,0 +1,1 @@
+lib/core/equivalence.mli: Circuit Dd Dd_complex

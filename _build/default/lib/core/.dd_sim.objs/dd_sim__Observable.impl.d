@@ -1,0 +1,1 @@
+lib/core/observable.ml: Bytes Cnum Dd Dd_complex Engine Gate Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/sim_stats.ml: Format

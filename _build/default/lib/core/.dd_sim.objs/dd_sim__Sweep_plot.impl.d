@@ -1,0 +1,1 @@
+lib/core/sweep_plot.ml: Array Buffer Float List Printf String

@@ -1,0 +1,202 @@
+open Dd_complex
+
+type t = {
+  context : Dd.Context.t;
+  n : int;
+  mutable state_edge : Dd.Vdd.edge;
+  rng_state : Random.State.t;
+  stats : Sim_stats.t;
+  mutable track_peaks : bool;
+}
+
+let create ?(seed = 0xDD) ?context n =
+  if n <= 0 then invalid_arg "Engine.create: need at least one qubit";
+  let context =
+    match context with Some c -> c | None -> Dd.Context.create ()
+  in
+  {
+    context;
+    n;
+    state_edge = Dd.Vdd.basis context ~n 0;
+    rng_state = Random.State.make [| seed |];
+    stats = Sim_stats.create ();
+    track_peaks = false;
+  }
+
+let context engine = engine.context
+let qubits engine = engine.n
+let stats engine = engine.stats
+let rng engine = engine.rng_state
+let state engine = engine.state_edge
+
+let set_state engine edge =
+  if Dd.Types.v_height edge <> engine.n then
+    invalid_arg "Engine.set_state: height mismatch";
+  engine.state_edge <- edge
+
+let reset engine =
+  engine.state_edge <- Dd.Vdd.basis engine.context ~n:engine.n 0;
+  Sim_stats.reset engine.stats
+
+let set_track_peaks engine flag = engine.track_peaks <- flag
+
+let note_state_peak engine =
+  if engine.track_peaks then
+    engine.stats.peak_state_nodes <-
+      max engine.stats.peak_state_nodes
+        (Dd.Vdd.node_count engine.state_edge)
+
+let note_matrix_peak engine matrix =
+  if engine.track_peaks then
+    engine.stats.peak_matrix_nodes <-
+      max engine.stats.peak_matrix_nodes (Dd.Mdd.node_count matrix)
+
+let gate_dd engine (gate : Gate.t) =
+  let controls =
+    List.map
+      (fun (c : Gate.control) ->
+        { Dd.Mdd.c_qubit = c.qubit; c_positive = c.positive })
+      gate.controls
+  in
+  Dd.Mdd.gate engine.context ~n:engine.n ~target:gate.target ~controls
+    (Gate.matrix gate.kind)
+
+let apply_matrix engine matrix =
+  engine.state_edge <- Dd.Mdd.apply engine.context matrix engine.state_edge;
+  engine.stats.mat_vec_mults <- engine.stats.mat_vec_mults + 1;
+  note_matrix_peak engine matrix;
+  note_state_peak engine
+
+let apply_gate engine gate =
+  engine.stats.gates_seen <- engine.stats.gates_seen + 1;
+  apply_matrix engine (gate_dd engine gate)
+
+let multiply_onto engine gate product =
+  engine.stats.mat_mat_mults <- engine.stats.mat_mat_mults + 1;
+  let result = Dd.Mdd.mul engine.context gate product in
+  note_matrix_peak engine result;
+  result
+
+let combine engine gates =
+  match gates with
+  | [] -> Dd.Mdd.identity engine.context engine.n
+  | first :: rest ->
+    engine.stats.gates_seen <- engine.stats.gates_seen + List.length gates;
+    List.fold_left
+      (fun product gate -> multiply_onto engine (gate_dd engine gate) product)
+      (gate_dd engine first) rest
+
+(* Window-combination driver shared by the k-operations and max-size
+   strategies: gates accumulate into a pending product (mat-mat
+   multiplications); the product is flushed onto the state (one mat-vec)
+   when the strategy's bound is reached or the gate stream ends. *)
+let run ?(strategy = Strategy.Sequential) ?(use_repeating = false) engine
+    circuit =
+  Strategy.validate strategy;
+  if Circuit.(circuit.qubits) <> engine.n then
+    invalid_arg "Engine.run: circuit width does not match engine";
+  let pending = ref None in
+  let pending_count = ref 0 in
+  let flush () =
+    match !pending with
+    | None -> ()
+    | Some product ->
+      if !pending_count > 1 then
+        engine.stats.combined_applications <-
+          engine.stats.combined_applications + 1;
+      apply_matrix engine product;
+      pending := None;
+      pending_count := 0
+  in
+  let absorb gate =
+    engine.stats.gates_seen <- engine.stats.gates_seen + 1;
+    let gate_matrix = gate_dd engine gate in
+    match strategy with
+    | Strategy.Sequential -> apply_matrix engine gate_matrix
+    | Strategy.K_operations k ->
+      (match !pending with
+      | None ->
+        pending := Some gate_matrix;
+        pending_count := 1
+      | Some product ->
+        pending := Some (multiply_onto engine gate_matrix product);
+        incr pending_count);
+      if !pending_count >= k then flush ()
+    | Strategy.Max_size bound -> (
+      match !pending with
+      | None ->
+        pending := Some gate_matrix;
+        pending_count := 1;
+        if Dd.Mdd.node_count gate_matrix > bound then flush ()
+      | Some product ->
+        let product = multiply_onto engine gate_matrix product in
+        pending := Some product;
+        incr pending_count;
+        if Dd.Mdd.node_count product > bound then flush ())
+  in
+  let rec walk op =
+    match op with
+    | Circuit.Gate gate -> absorb gate
+    | Circuit.Repeat { count; body } ->
+      if use_repeating && count > 1 then begin
+        flush ();
+        let gates = body_gates body in
+        let block = combine engine gates in
+        engine.stats.combined_applications <-
+          engine.stats.combined_applications + count;
+        for _ = 1 to count do
+          apply_matrix engine block
+        done
+      end
+      else
+        for _ = 1 to count do
+          List.iter walk body
+        done
+  and body_gates body =
+    let circuit = Circuit.create ~qubits:engine.n body in
+    Circuit.flatten circuit
+  in
+  List.iter walk Circuit.(circuit.ops);
+  flush ()
+
+let amplitude engine index =
+  Dd.Vdd.amplitude engine.state_edge ~n:engine.n index
+
+let probability_one engine ~qubit =
+  Dd.Measure.probability_one engine.context engine.state_edge ~qubit
+
+let probabilities engine =
+  Dd.Measure.probabilities engine.state_edge ~n:engine.n
+
+let state_node_count engine = Dd.Vdd.node_count engine.state_edge
+
+let measure_qubit engine ~qubit =
+  let outcome, collapsed =
+    Dd.Measure.measure_qubit engine.context engine.rng_state
+      engine.state_edge ~qubit
+  in
+  engine.state_edge <- collapsed;
+  outcome
+
+let measure_all engine =
+  let rec loop qubit acc =
+    if qubit >= engine.n then acc
+    else
+      let bit = measure_qubit engine ~qubit in
+      loop (qubit + 1) (if bit then acc lor (1 lsl qubit) else acc)
+  in
+  loop 0 0
+
+let sample engine =
+  Dd.Measure.sample engine.context engine.rng_state engine.state_edge
+
+let fidelity_dense engine reference =
+  if Array.length reference <> 1 lsl engine.n then
+    invalid_arg "Engine.fidelity_dense: length mismatch";
+  let reference_edge = Dd.Vdd.of_array engine.context reference in
+  let overlap = Dd.Vdd.dot engine.context reference_edge engine.state_edge in
+  Cnum.mag2 overlap
+
+let collect_garbage engine =
+  Dd.Context.collect engine.context ~v_roots:[ engine.state_edge ]
+    ~m_roots:[]

@@ -1,0 +1,82 @@
+(** The DD simulation engine — the paper's primary contribution.
+
+    An engine owns a DD package instance ({!Dd.Context.t}), the current
+    state vector (as a vector DD) and a statistics record.  {!run} simulates
+    a circuit under a {!Strategy.t}; with [~use_repeating:true], [Repeat]
+    blocks are combined into one matrix once and re-applied (the paper's
+    DD-repeating strategy).  Directly constructed unitaries (DD-construct)
+    are applied through {!apply_matrix}. *)
+
+type t
+
+val create : ?seed:int -> ?context:Dd.Context.t -> int -> t
+(** [create n] — an [n]-qubit engine in state [|0...0>].  [seed] initialises
+    the measurement RNG (default [0xDD]); [context] shares an existing DD
+    package (default: a fresh one). *)
+
+val context : t -> Dd.Context.t
+val qubits : t -> int
+val stats : t -> Sim_stats.t
+val rng : t -> Random.State.t
+
+val state : t -> Dd.Vdd.edge
+(** Current state vector. *)
+
+val set_state : t -> Dd.Vdd.edge -> unit
+(** Replace the state (e.g. with a custom initial state).  The edge must
+    have the engine's height. *)
+
+val reset : t -> unit
+(** Back to [|0...0>]; statistics are reset too. *)
+
+val set_track_peaks : t -> bool -> unit
+(** When enabled, {!Sim_stats.t.peak_state_nodes} and [peak_matrix_nodes]
+    are maintained (costs a DD traversal per multiplication; off by
+    default). *)
+
+val gate_dd : t -> Gate.t -> Dd.Mdd.edge
+(** Build the matrix DD of one elementary gate on this engine's width. *)
+
+val apply_gate : t -> Gate.t -> unit
+(** One matrix-vector multiplication (the Eq. 1 step). *)
+
+val apply_matrix : t -> Dd.Mdd.edge -> unit
+(** Multiply an arbitrary (combined or directly constructed) matrix DD onto
+    the state. *)
+
+val combine : t -> Gate.t list -> Dd.Mdd.edge
+(** Product of a gate sequence as one matrix DD (in application order:
+    [combine e [g1; g2]] is [M_g2 x M_g1]), via matrix-matrix
+    multiplications (the Eq. 2 step). *)
+
+val run :
+  ?strategy:Strategy.t -> ?use_repeating:bool -> t -> Circuit.t -> unit
+(** Simulate a circuit.  [strategy] defaults to [Sequential];
+    [use_repeating] (default false) applies the DD-repeating treatment to
+    [Repeat] blocks. *)
+
+val amplitude : t -> int -> Dd_complex.Cnum.t
+val probability_one : t -> qubit:int -> float
+val probabilities : t -> float array
+(** Dense distribution; small engines only. *)
+
+val state_node_count : t -> int
+(** DD size of the current state — the quantity plotted in Fig. 5. *)
+
+val measure_qubit : t -> qubit:int -> bool
+(** Measure one qubit, collapse the state. *)
+
+val measure_all : t -> int
+(** Measure every qubit (collapses to a basis state); returns the index. *)
+
+val sample : t -> int
+(** Sample a basis index without collapsing. *)
+
+val fidelity_dense : t -> Dd_complex.Cnum.t array -> float
+(** [|<dense|state>|^2] against a dense reference vector (tests). *)
+
+val collect_garbage : t -> int * int
+(** Drop every DD node not reachable from the current state from the
+    package's unique tables (clearing the compute caches).  Use between
+    phases of long simulations to bound memory.  Returns the numbers of
+    vector and matrix nodes reclaimed. *)

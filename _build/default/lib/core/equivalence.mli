@@ -1,0 +1,22 @@
+(** DD-based circuit equivalence checking.
+
+    The complementary application of matrix-matrix multiplication on DDs:
+    two circuits are equivalent iff the product [U_b^dagger x U_a] is the
+    identity.  Because DDs are canonical, the comparison after building the
+    product is a constant-time edge comparison — the same effect the
+    paper's combination strategies exploit, used for verification instead
+    of simulation. *)
+
+type result =
+  | Equivalent
+  | Equivalent_up_to_phase of Dd_complex.Cnum.t
+      (** differ only by the reported global phase *)
+  | Not_equivalent
+
+val check : ?context:Dd.Context.t -> Circuit.t -> Circuit.t -> result
+(** [check a b] builds both circuit matrices with mat-mat multiplication
+    and compares them canonically.  Raises [Invalid_argument] when the
+    circuits have different widths. *)
+
+val equivalent : ?up_to_phase:bool -> Circuit.t -> Circuit.t -> bool
+(** Boolean convenience wrapper ([up_to_phase] defaults to [true]). *)

@@ -1,0 +1,65 @@
+open Dd_complex
+
+type pauli = I | X | Y | Z
+type t = (int * pauli) list
+
+let of_string text =
+  let n = String.length text in
+  let rec build i acc =
+    if i >= n then acc
+    else
+      let qubit = n - 1 - i in
+      let acc =
+        match text.[i] with
+        | 'I' | 'i' -> acc
+        | 'X' | 'x' -> (qubit, X) :: acc
+        | 'Y' | 'y' -> (qubit, Y) :: acc
+        | 'Z' | 'z' -> (qubit, Z) :: acc
+        | c ->
+          invalid_arg
+            (Printf.sprintf "Observable.of_string: bad character %C" c)
+      in
+      build (i + 1) acc
+  in
+  build 0 []
+
+let to_string ~n obs =
+  let letters = Bytes.make n 'I' in
+  List.iter
+    (fun (qubit, pauli) ->
+      let letter =
+        match pauli with I -> 'I' | X -> 'X' | Y -> 'Y' | Z -> 'Z'
+      in
+      Bytes.set letters (n - 1 - qubit) letter)
+    obs;
+  Bytes.to_string letters
+
+let gate_kind = function
+  | I -> None
+  | X -> Some Gate.X
+  | Y -> Some Gate.Y
+  | Z -> Some Gate.Z
+
+let expectation engine obs =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (qubit, _) ->
+      if qubit < 0 || qubit >= Engine.qubits engine then
+        invalid_arg "Observable.expectation: qubit out of range";
+      if Hashtbl.mem seen qubit then
+        invalid_arg "Observable.expectation: duplicate qubit";
+      Hashtbl.add seen qubit ())
+    obs;
+  let ctx = Engine.context engine in
+  let state = Engine.state engine in
+  let transformed =
+    List.fold_left
+      (fun v (qubit, pauli) ->
+        match gate_kind pauli with
+        | None -> v
+        | Some kind ->
+          let dd = Engine.gate_dd engine (Gate.make kind qubit) in
+          Dd.Mdd.apply ctx dd v)
+      state obs
+  in
+  Cnum.re (Dd.Vdd.dot ctx state transformed)

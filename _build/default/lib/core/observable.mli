@@ -1,0 +1,18 @@
+(** Pauli-string observables evaluated directly on the DD state — no dense
+    expansion, one matrix-vector multiplication plus one inner product. *)
+
+type pauli = I | X | Y | Z
+
+type t = (int * pauli) list
+(** Qubit/operator pairs; unlisted qubits are implicitly [I].  A qubit may
+    appear at most once. *)
+
+val of_string : string -> t
+(** [of_string "ZXI"]: rightmost character acts on qubit 0.  Raises
+    [Invalid_argument] on characters outside [IXYZ]. *)
+
+val to_string : n:int -> t -> string
+
+val expectation : Engine.t -> t -> float
+(** [expectation engine obs] is [<psi| P |psi>] for the engine's current
+    (normalised) state; always real since Pauli strings are Hermitian. *)

@@ -1,0 +1,36 @@
+type t = {
+  mutable mat_vec_mults : int;
+  mutable mat_mat_mults : int;
+  mutable gates_seen : int;
+  mutable combined_applications : int;
+  mutable peak_state_nodes : int;
+  mutable peak_matrix_nodes : int;
+}
+
+let create () =
+  {
+    mat_vec_mults = 0;
+    mat_mat_mults = 0;
+    gates_seen = 0;
+    combined_applications = 0;
+    peak_state_nodes = 0;
+    peak_matrix_nodes = 0;
+  }
+
+let reset stats =
+  stats.mat_vec_mults <- 0;
+  stats.mat_mat_mults <- 0;
+  stats.gates_seen <- 0;
+  stats.combined_applications <- 0;
+  stats.peak_state_nodes <- 0;
+  stats.peak_matrix_nodes <- 0
+
+let copy stats = { stats with mat_vec_mults = stats.mat_vec_mults }
+
+let pp fmt stats =
+  Format.fprintf fmt
+    "gates=%d mat-vec=%d mat-mat=%d combined-applications=%d \
+     peak-state-nodes=%d peak-matrix-nodes=%d"
+    stats.gates_seen stats.mat_vec_mults stats.mat_mat_mults
+    stats.combined_applications stats.peak_state_nodes
+    stats.peak_matrix_nodes

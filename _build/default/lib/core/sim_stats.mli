@@ -1,0 +1,19 @@
+(** Instrumentation counters for a simulation run: how many matrix-vector
+    and matrix-matrix multiplications were performed, and (optionally) the
+    peak DD sizes encountered — the quantities Section III of the paper
+    reasons about. *)
+
+type t = {
+  mutable mat_vec_mults : int;
+  mutable mat_mat_mults : int;
+  mutable gates_seen : int;
+  mutable combined_applications : int;
+      (** matrix-vector products whose matrix combined >= 2 gates *)
+  mutable peak_state_nodes : int;
+  mutable peak_matrix_nodes : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type t = Sequential | K_operations of int | Max_size of int
+
+let to_string = function
+  | Sequential -> "seq"
+  | K_operations k -> Printf.sprintf "k:%d" k
+  | Max_size s -> Printf.sprintf "size:%d" s
+
+let of_string text =
+  let int_suffix prefix =
+    let plen = String.length prefix in
+    if String.length text > plen && String.sub text 0 plen = prefix then
+      int_of_string_opt (String.sub text plen (String.length text - plen))
+    else None
+  in
+  if text = "seq" || text = "sequential" then Ok Sequential
+  else
+    match int_suffix "k:" with
+    | Some k when k >= 1 -> Ok (K_operations k)
+    | Some _ -> Error "k must be >= 1"
+    | None -> (
+      match int_suffix "size:" with
+      | Some s when s >= 1 -> Ok (Max_size s)
+      | Some _ -> Error "size must be >= 1"
+      | None -> Error (Printf.sprintf "cannot parse strategy %S" text))
+
+let pp fmt strategy = Format.pp_print_string fmt (to_string strategy)
+
+let validate = function
+  | Sequential -> ()
+  | K_operations k ->
+    if k < 1 then invalid_arg "Strategy: k must be >= 1"
+  | Max_size s -> if s < 1 then invalid_arg "Strategy: size must be >= 1"

@@ -1,0 +1,26 @@
+(** Operation-combination strategies (paper Section IV-A).
+
+    [Sequential] is the state of the art the paper improves on (Eq. 1, one
+    matrix-vector multiplication per gate).  [K_operations k] multiplies
+    each window of [k] gates into one matrix before touching the state
+    vector; [Max_size s] grows the combined matrix until its DD exceeds [s]
+    nodes.  The knowledge-based strategies (DD-repeating, DD-construct) are
+    not variants of this type: DD-repeating is enabled by
+    [Engine.run ~use_repeating:true], DD-construct is a different circuit
+    construction (see [Quantum_algorithms.Shor]). *)
+
+type t =
+  | Sequential
+  | K_operations of int  (** combine k >= 1 gates per application *)
+  | Max_size of int  (** combine while the product DD has <= s nodes *)
+
+val to_string : t -> string
+(** ["seq"], ["k:16"], ["size:4096"]. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}. *)
+
+val pp : Format.formatter -> t -> unit
+
+val validate : t -> unit
+(** Raises [Invalid_argument] for non-positive parameters. *)

@@ -1,0 +1,209 @@
+type series = { series_name : string; points : (float * float) list }
+
+(* ------------------------------------------------------------------ *)
+(* SVG rendering                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let width = 760.
+let height = 460.
+let margin_left = 64.
+let margin_right = 170.
+let margin_top = 48.
+let margin_bottom = 56.
+
+let palette =
+  [|
+    "#1f77b4"; "#ff7f0e"; "#2ca02c"; "#d62728"; "#9467bd"; "#8c564b";
+    "#e377c2"; "#7f7f7f";
+  |]
+
+let log2 x = log x /. log 2.
+
+let render ~title ~x_label series =
+  let series = List.filter (fun s -> s.points <> []) series in
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then invalid_arg "Sweep_plot.render: no data";
+  let xs = List.map fst all_points and ys = List.map snd all_points in
+  let x_min = log2 (List.fold_left Float.min infinity xs) in
+  let x_max = log2 (List.fold_left Float.max neg_infinity xs) in
+  let y_max = Float.max 1.5 (List.fold_left Float.max neg_infinity ys) in
+  let y_min = 0. in
+  let x_span = Float.max 1e-9 (x_max -. x_min) in
+  let plot_w = width -. margin_left -. margin_right in
+  let plot_h = height -. margin_top -. margin_bottom in
+  let px x = margin_left +. ((log2 x -. x_min) /. x_span *. plot_w) in
+  let py y =
+    margin_top +. ((y_max -. y) /. (y_max -. y_min) *. plot_h)
+  in
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" \
+     height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\" font-family=\"sans-serif\">\n"
+    width height width height;
+  out "<rect width=\"%.0f\" height=\"%.0f\" fill=\"white\"/>\n" width height;
+  out
+    "<text x=\"%.0f\" y=\"26\" font-size=\"16\" text-anchor=\"middle\">%s</text>\n"
+    (width /. 2.) title;
+  (* axes *)
+  out
+    "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"black\"/>\n"
+    margin_left (py y_min) (margin_left +. plot_w) (py y_min);
+  out
+    "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"black\"/>\n"
+    margin_left (py y_min) margin_left (py y_max);
+  (* speed-up = 1 guide line *)
+  out
+    "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+     stroke=\"#999\" stroke-dasharray=\"5,4\"/>\n"
+    margin_left (py 1.) (margin_left +. plot_w) (py 1.);
+  (* x ticks at powers of two present in the data *)
+  let tick_values =
+    List.sort_uniq compare (List.map fst all_points)
+  in
+  List.iter
+    (fun v ->
+      out
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+         stroke=\"black\"/>\n"
+        (px v) (py y_min) (px v)
+        (py y_min +. 5.);
+      out
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" \
+         text-anchor=\"middle\">%g</text>\n"
+        (px v)
+        (py y_min +. 20.)
+        v)
+    tick_values;
+  out
+    "<text x=\"%.1f\" y=\"%.1f\" font-size=\"12\" text-anchor=\"middle\">%s \
+     (log scale)</text>\n"
+    (margin_left +. (plot_w /. 2.))
+    (height -. 12.) x_label;
+  (* y ticks *)
+  let y_ticks =
+    let step = if y_max > 8. then 2. else if y_max > 4. then 1. else 0.5 in
+    let rec build v acc = if v > y_max then acc else build (v +. step) (v :: acc) in
+    build 0. []
+  in
+  List.iter
+    (fun v ->
+      out
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+         stroke=\"black\"/>\n"
+        (margin_left -. 5.) (py v) margin_left (py v);
+      out
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" \
+         text-anchor=\"end\">%g</text>\n"
+        (margin_left -. 9.)
+        (py v +. 4.)
+        v)
+    y_ticks;
+  out
+    "<text x=\"18\" y=\"%.1f\" font-size=\"12\" text-anchor=\"middle\" \
+     transform=\"rotate(-90 18 %.1f)\">speed-up vs sequential</text>\n"
+    (margin_top +. (plot_h /. 2.))
+    (margin_top +. (plot_h /. 2.));
+  (* series *)
+  List.iteri
+    (fun i s ->
+      let average = s.series_name = "average" in
+      let color =
+        if average then "#000000"
+        else palette.(i mod Array.length palette)
+      in
+      let path =
+        String.concat " "
+          (List.map (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (px x) (py y))
+             (List.sort compare s.points))
+      in
+      out
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" \
+         stroke-width=\"%s\"%s/>\n"
+        path color
+        (if average then "2.5" else "1.5")
+        (if average then "" else " opacity=\"0.85\"");
+      List.iter
+        (fun (x, y) ->
+          out
+            "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" fill=\"%s\"/>\n"
+            (px x) (py y) color)
+        s.points;
+      (* legend *)
+      let ly = margin_top +. (float_of_int i *. 18.) in
+      let lx = margin_left +. plot_w +. 12. in
+      out
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+         stroke=\"%s\" stroke-width=\"2\"/>\n"
+        lx ly (lx +. 18.) ly color;
+      out
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\">%s</text>\n"
+        (lx +. 24.) (ly +. 4.) s.series_name)
+    series;
+  out "</svg>\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing bench output                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let parse_sweep_table ~header text =
+  let lines = String.split_on_char '\n' text in
+  (* find the section *)
+  let rec find_section = function
+    | [] -> raise Not_found
+    | line :: rest ->
+      let found =
+        let n = String.length line and m = String.length header in
+        let rec scan i =
+          i + m <= n && (String.sub line i m = header || scan (i + 1))
+        in
+        scan 0
+      in
+      if found then rest else find_section rest
+  in
+  let rec find_header_row = function
+    | [] -> raise Not_found
+    | line :: rest -> (
+      match tokens line with
+      | axis :: names when (axis = "k" || axis = "s_max") && names <> [] ->
+        (names, rest)
+      | _ -> find_header_row rest)
+  in
+  let section = find_section lines in
+  let names, rest = find_header_row section in
+  let columns = Array.of_list names in
+  let points = Array.make (Array.length columns) [] in
+  let rec read_rows = function
+    | [] -> ()
+    | line :: rest -> (
+      match tokens line with
+      | first :: cells when (match float_of_string_opt first with
+                            | Some _ -> true
+                            | None -> false)
+                            && List.length cells = Array.length columns ->
+        let x = float_of_string first in
+        List.iteri
+          (fun i cell ->
+            match float_of_string_opt cell with
+            | Some y when Float.is_finite y ->
+              points.(i) <- (x, y) :: points.(i)
+            | Some _ | None -> (* a skipped "-" or nan entry *) ())
+          cells;
+        read_rows rest
+      | [ "seq[s]" ] | _ ->
+        (* stop at the first line that is not a data row, except the
+           seq[s] baseline row which precedes the data *)
+        (match tokens line with
+        | "seq[s]" :: _ -> read_rows rest
+        | [] -> read_rows rest
+        | _ -> ()))
+  in
+  read_rows rest;
+  Array.to_list
+    (Array.mapi
+       (fun i name -> { series_name = name; points = List.rev points.(i) })
+       columns)

@@ -1,0 +1,1 @@
+lib/dd/context.ml: Cnum Ctable Dd_complex Format Hashtbl List Types

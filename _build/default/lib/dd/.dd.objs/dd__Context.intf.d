@@ -1,0 +1,1 @@
+lib/dd/context.mli: Cnum Ctable Dd_complex Format Hashtbl Types

@@ -1,0 +1,1 @@
+lib/dd/dot.ml: Buffer Cnum Dd_complex Mdd Printf Types Vdd

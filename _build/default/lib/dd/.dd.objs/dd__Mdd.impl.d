@@ -1,0 +1,1 @@
+lib/dd/mdd.ml: Array Cnum Context Dd_complex Hashtbl List Types Vdd

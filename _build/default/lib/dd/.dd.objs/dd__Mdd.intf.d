@@ -1,0 +1,1 @@
+lib/dd/mdd.mli: Cnum Context Dd_complex Types Vdd

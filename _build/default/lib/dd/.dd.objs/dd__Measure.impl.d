@@ -1,0 +1,1 @@
+lib/dd/measure.ml: Array Cnum Context Dd_complex Hashtbl Random Types Vdd

@@ -1,0 +1,1 @@
+lib/dd/measure.mli: Context Random Vdd

@@ -1,0 +1,1 @@
+lib/dd/serialize.ml: Buffer Cnum Context Dd_complex Hashtbl List Mdd Printf String Types Vdd

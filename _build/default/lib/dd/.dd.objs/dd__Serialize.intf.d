@@ -1,0 +1,1 @@
+lib/dd/serialize.mli: Context Mdd Vdd

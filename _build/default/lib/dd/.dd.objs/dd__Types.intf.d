@@ -1,0 +1,1 @@
+lib/dd/types.mli: Cnum Dd_complex

@@ -1,0 +1,1 @@
+lib/dd/unweighted.ml: Array Cnum Context Dd_complex Hashtbl Types

@@ -1,0 +1,1 @@
+lib/dd/unweighted.mli: Context Dd_complex Vdd

@@ -1,0 +1,1 @@
+lib/dd/vdd.ml: Array Cnum Context Dd_complex Float Hashtbl List Set Types

@@ -1,0 +1,1 @@
+lib/dd/vdd.mli: Cnum Context Dd_complex Types

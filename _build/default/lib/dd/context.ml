@@ -1,0 +1,141 @@
+open Dd_complex
+
+type cache_stats = { mutable hits : int; mutable misses : int }
+
+type stats = {
+  mutable v_nodes_created : int;
+  mutable m_nodes_created : int;
+  add_v : cache_stats;
+  add_m : cache_stats;
+  mul_mv : cache_stats;
+  mul_mm : cache_stats;
+}
+
+type t = {
+  ctable : Ctable.t;
+  v_unique : (int * int * int * int * int, Types.vnode) Hashtbl.t;
+  m_unique :
+    ( int * int * int * int * int * int * int * int * int,
+      Types.mnode )
+    Hashtbl.t;
+  mutable next_vid : int;
+  mutable next_mid : int;
+  add_v_cache : (int * int * int, Types.vedge) Hashtbl.t;
+  add_m_cache : (int * int * int, Types.medge) Hashtbl.t;
+  mul_mv_cache : (int * int, Types.vedge) Hashtbl.t;
+  mul_mm_cache : (int * int, Types.medge) Hashtbl.t;
+  adjoint_cache : (int, Types.medge) Hashtbl.t;
+  dot_cache : (int * int, Cnum.t) Hashtbl.t;
+  norm_cache : (int, float) Hashtbl.t;
+  max_mag_cache : (int, float) Hashtbl.t;
+  identity_cache : (int, Types.medge) Hashtbl.t;
+  stats : stats;
+}
+
+let fresh_stats () =
+  {
+    v_nodes_created = 0;
+    m_nodes_created = 0;
+    add_v = { hits = 0; misses = 0 };
+    add_m = { hits = 0; misses = 0 };
+    mul_mv = { hits = 0; misses = 0 };
+    mul_mm = { hits = 0; misses = 0 };
+  }
+
+let create ?tolerance () =
+  {
+    ctable = Ctable.create ?tolerance ();
+    v_unique = Hashtbl.create 65536;
+    m_unique = Hashtbl.create 65536;
+    next_vid = 1;
+    next_mid = 1;
+    add_v_cache = Hashtbl.create 65536;
+    add_m_cache = Hashtbl.create 65536;
+    mul_mv_cache = Hashtbl.create 65536;
+    mul_mm_cache = Hashtbl.create 65536;
+    adjoint_cache = Hashtbl.create 1024;
+    dot_cache = Hashtbl.create 1024;
+    norm_cache = Hashtbl.create 65536;
+    max_mag_cache = Hashtbl.create 65536;
+    identity_cache = Hashtbl.create 64;
+    stats = fresh_stats ();
+  }
+
+let cnum ctx z = Ctable.intern ctx.ctable z
+
+let clear_compute_caches ctx =
+  Hashtbl.reset ctx.add_v_cache;
+  Hashtbl.reset ctx.add_m_cache;
+  Hashtbl.reset ctx.mul_mv_cache;
+  Hashtbl.reset ctx.mul_mm_cache;
+  Hashtbl.reset ctx.adjoint_cache;
+  Hashtbl.reset ctx.dot_cache;
+  Hashtbl.reset ctx.norm_cache;
+  Hashtbl.reset ctx.max_mag_cache
+
+let v_unique_size ctx = ctx.next_vid - 1
+let m_unique_size ctx = ctx.next_mid - 1
+
+let reset_stats ctx =
+  let s = ctx.stats in
+  s.v_nodes_created <- 0;
+  s.m_nodes_created <- 0;
+  List.iter
+    (fun c ->
+      c.hits <- 0;
+      c.misses <- 0)
+    [ s.add_v; s.add_m; s.mul_mv; s.mul_mm ]
+
+let pp_stats fmt ctx =
+  let s = ctx.stats in
+  let line name c =
+    Format.fprintf fmt "%s: %d hits / %d misses@\n" name c.hits c.misses
+  in
+  Format.fprintf fmt "nodes created: %d vector, %d matrix@\n"
+    s.v_nodes_created s.m_nodes_created;
+  line "add_v " s.add_v;
+  line "add_m " s.add_m;
+  line "mul_mv" s.mul_mv;
+  line "mul_mm" s.mul_mm
+
+let live_v_nodes ctx = Hashtbl.length ctx.v_unique
+let live_m_nodes ctx = Hashtbl.length ctx.m_unique
+
+let collect ctx ~v_roots ~m_roots =
+  let v_marked = Hashtbl.create 4096 in
+  let m_marked = Hashtbl.create 4096 in
+  let rec mark_v (node : Types.vnode) =
+    if node.Types.level >= 0 && not (Hashtbl.mem v_marked node.Types.vid)
+    then begin
+      Hashtbl.add v_marked node.Types.vid ();
+      mark_v node.Types.v_low.Types.vt;
+      mark_v node.Types.v_high.Types.vt
+    end
+  in
+  let rec mark_m (node : Types.mnode) =
+    if node.Types.level >= 0 && not (Hashtbl.mem m_marked node.Types.mid)
+    then begin
+      Hashtbl.add m_marked node.Types.mid ();
+      mark_m node.Types.m00.Types.mt;
+      mark_m node.Types.m01.Types.mt;
+      mark_m node.Types.m10.Types.mt;
+      mark_m node.Types.m11.Types.mt
+    end
+  in
+  List.iter (fun (e : Types.vedge) -> mark_v e.Types.vt) v_roots;
+  List.iter (fun (e : Types.medge) -> mark_m e.Types.mt) m_roots;
+  let v_before = Hashtbl.length ctx.v_unique in
+  let m_before = Hashtbl.length ctx.m_unique in
+  let keep_v _key (node : Types.vnode) =
+    if Hashtbl.mem v_marked node.Types.vid then Some node else None
+  in
+  let keep_m _key (node : Types.mnode) =
+    if Hashtbl.mem m_marked node.Types.mid then Some node else None
+  in
+  Hashtbl.filter_map_inplace keep_v ctx.v_unique;
+  Hashtbl.filter_map_inplace keep_m ctx.m_unique;
+  (* the compute caches and the identity cache may hold dead nodes *)
+  clear_compute_caches ctx;
+  Hashtbl.reset ctx.identity_cache;
+  ( v_before - Hashtbl.length ctx.v_unique,
+    m_before - Hashtbl.length ctx.m_unique )

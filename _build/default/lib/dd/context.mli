@@ -1,0 +1,72 @@
+(** Shared state of a DD package instance: the canonical complex table, the
+    unique (hash-consing) tables for vector and matrix nodes, and the compute
+    caches that memoise addition and multiplication — the machinery the paper
+    relies on when it argues that "re-occurring sub-products only have to be
+    computed once". *)
+
+open Dd_complex
+
+type cache_stats = { mutable hits : int; mutable misses : int }
+
+type stats = {
+  mutable v_nodes_created : int;
+  mutable m_nodes_created : int;
+  add_v : cache_stats;
+  add_m : cache_stats;
+  mul_mv : cache_stats;
+  mul_mm : cache_stats;
+}
+
+type t = {
+  ctable : Ctable.t;
+  v_unique : (int * int * int * int * int, Types.vnode) Hashtbl.t;
+  m_unique :
+    ( int * int * int * int * int * int * int * int * int,
+      Types.mnode )
+    Hashtbl.t;
+  mutable next_vid : int;
+  mutable next_mid : int;
+  add_v_cache : (int * int * int, Types.vedge) Hashtbl.t;
+  add_m_cache : (int * int * int, Types.medge) Hashtbl.t;
+  mul_mv_cache : (int * int, Types.vedge) Hashtbl.t;
+  mul_mm_cache : (int * int, Types.medge) Hashtbl.t;
+  adjoint_cache : (int, Types.medge) Hashtbl.t;
+  dot_cache : (int * int, Cnum.t) Hashtbl.t;
+  norm_cache : (int, float) Hashtbl.t;
+  max_mag_cache : (int, float) Hashtbl.t;
+  identity_cache : (int, Types.medge) Hashtbl.t;
+  stats : stats;
+}
+
+val create : ?tolerance:float -> unit -> t
+(** Fresh package instance.  [tolerance] is forwarded to {!Ctable.create}. *)
+
+val cnum : t -> Cnum.t -> Cnum.t
+(** Intern a complex number in this context's table. *)
+
+val clear_compute_caches : t -> unit
+(** Drop all memoisation caches (unique tables are kept, so canonicity is
+    unaffected).  Useful between timed runs. *)
+
+val v_unique_size : t -> int
+(** Number of distinct vector nodes ever created. *)
+
+val m_unique_size : t -> int
+
+val reset_stats : t -> unit
+
+val pp_stats : Format.formatter -> t -> unit
+
+val live_v_nodes : t -> int
+(** Vector nodes currently resident in the unique table. *)
+
+val live_m_nodes : t -> int
+
+val collect : t -> v_roots:Types.vedge list -> m_roots:Types.medge list ->
+  int * int
+(** Mark-and-sweep garbage collection: every node unreachable from the
+    given root edges is dropped from the unique tables, and all compute
+    caches (which may reference dead nodes) are cleared.  Long-running
+    simulations call this periodically with the current state (and any
+    cached oracle matrices) as roots.  Returns the numbers of vector and
+    matrix nodes removed. *)

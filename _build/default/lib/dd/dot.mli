@@ -1,0 +1,11 @@
+(** Graphviz export of decision diagrams, for inspecting the size effects
+    the paper illustrates in Fig. 2 and Fig. 5. *)
+
+val vector_to_dot : ?name:string -> Vdd.edge -> string
+(** DOT source for a vector DD; edge labels carry the weights (weights equal
+    to one are omitted, zero stubs are drawn as small boxes, as in the
+    paper's drawing convention). *)
+
+val matrix_to_dot : ?name:string -> Mdd.edge -> string
+(** DOT source for a matrix DD; the four out-edges are labelled 00/01/10/11
+    for the quadrants. *)

@@ -1,0 +1,100 @@
+open Dd_complex
+open Types
+
+(* node_norm n = sum over all paths below n of the squared magnitude of the
+   path weight product; the top edge weight is excluded so the value can be
+   cached per node. *)
+let rec node_norm ctx node =
+  if v_is_terminal node then 1.
+  else
+    match Hashtbl.find_opt ctx.Context.norm_cache node.vid with
+    | Some x -> x
+    | None ->
+      let part e =
+        if v_is_zero e then 0. else Cnum.mag2 e.vw *. node_norm ctx e.vt
+      in
+      let x = part node.v_low +. part node.v_high in
+      Hashtbl.add ctx.Context.norm_cache node.vid x;
+      x
+
+let norm2 ctx edge =
+  if v_is_zero edge then 0.
+  else Cnum.mag2 edge.vw *. node_norm ctx edge.vt
+
+let probability_one ctx edge ~qubit =
+  if v_is_zero edge then invalid_arg "Measure.probability_one: zero state";
+  if qubit < 0 || qubit > edge.vt.level then
+    invalid_arg "Measure.probability_one: qubit out of range";
+  let memo = Hashtbl.create 64 in
+  (* weight of all paths through the |1> branch at [qubit], per node *)
+  let rec mass node =
+    match Hashtbl.find_opt memo node.vid with
+    | Some x -> x
+    | None ->
+      let x =
+        if node.level = qubit then
+          if v_is_zero node.v_high then 0.
+          else Cnum.mag2 node.v_high.vw *. node_norm ctx node.v_high.vt
+        else
+          let part e =
+            if v_is_zero e then 0. else Cnum.mag2 e.vw *. mass e.vt
+          in
+          part node.v_low +. part node.v_high
+      in
+      Hashtbl.add memo node.vid x;
+      x
+  in
+  let total = norm2 ctx edge in
+  Cnum.mag2 edge.vw *. mass edge.vt /. total
+
+let collapse ctx edge ~qubit ~outcome =
+  if v_is_zero edge then invalid_arg "Measure.collapse: zero state";
+  if qubit < 0 || qubit > edge.vt.level then
+    invalid_arg "Measure.collapse: qubit out of range";
+  let memo = Hashtbl.create 64 in
+  let rec project node =
+    match Hashtbl.find_opt memo node.vid with
+    | Some e -> e
+    | None ->
+      let descend child =
+        if v_is_zero child then v_zero
+        else Vdd.scale ctx child.vw (project child.vt)
+      in
+      let e =
+        if node.level = qubit then
+          if outcome then Vdd.make ctx node.level v_zero node.v_high
+          else Vdd.make ctx node.level node.v_low v_zero
+        else
+          Vdd.make ctx node.level (descend node.v_low) (descend node.v_high)
+      in
+      Hashtbl.add memo node.vid e;
+      e
+  in
+  let full = Vdd.scale ctx edge.vw (project edge.vt) in
+  let p = norm2 ctx full in
+  if p < 1e-24 then invalid_arg "Measure.collapse: zero-probability outcome";
+  Vdd.scale ctx (Cnum.of_float (1. /. sqrt p)) full
+
+let measure_qubit ctx rng edge ~qubit =
+  let p1 = probability_one ctx edge ~qubit in
+  let outcome = Random.State.float rng 1. < p1 in
+  (outcome, collapse ctx edge ~qubit ~outcome)
+
+let sample ctx rng edge =
+  if v_is_zero edge then invalid_arg "Measure.sample: zero state";
+  let rec walk node acc =
+    if v_is_terminal node then acc
+    else
+      let mass e =
+        if v_is_zero e then 0. else Cnum.mag2 e.vw *. node_norm ctx e.vt
+      in
+      let p0 = mass node.v_low and p1 = mass node.v_high in
+      let pick_high = Random.State.float rng (p0 +. p1) >= p0 in
+      if pick_high then walk node.v_high.vt (acc lor (1 lsl node.level))
+      else walk node.v_low.vt acc
+  in
+  walk edge.vt 0
+
+let probabilities edge ~n =
+  let amps = Vdd.to_array edge ~n in
+  Array.map Cnum.mag2 amps

@@ -1,0 +1,27 @@
+(** Measurement on vector DDs: cached squared norms, single-qubit marginals,
+    projective collapse, and full-register sampling.  Needed both for
+    reading out results and for Beauregard-style circuits with intermediate
+    measurements. *)
+
+val norm2 : Context.t -> Vdd.edge -> float
+(** Squared 2-norm of the represented vector (cached per node). *)
+
+val probability_one : Context.t -> Vdd.edge -> qubit:int -> float
+(** Probability that measuring [qubit] yields [1], normalised by the state's
+    norm. *)
+
+val collapse : Context.t -> Vdd.edge -> qubit:int -> outcome:bool -> Vdd.edge
+(** Project onto the given outcome and renormalise.  Raises
+    [Invalid_argument] if the outcome has (numerically) zero probability. *)
+
+val measure_qubit :
+  Context.t -> Random.State.t -> Vdd.edge -> qubit:int -> bool * Vdd.edge
+(** Sample one qubit and return the outcome together with the collapsed,
+    renormalised state. *)
+
+val sample : Context.t -> Random.State.t -> Vdd.edge -> int
+(** Sample a full basis-state index from the state's distribution without
+    collapsing. *)
+
+val probabilities : Vdd.edge -> n:int -> float array
+(** Dense outcome distribution; tests and small [n] only. *)

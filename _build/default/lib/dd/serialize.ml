@@ -1,0 +1,148 @@
+open Dd_complex
+open Types
+
+let float_repr x = Printf.sprintf "%.17g" x
+
+(* --- vectors --------------------------------------------------------- *)
+
+let vector_to_string edge =
+  let buf = Buffer.create 1024 in
+  let nodes = ref [] in
+  Vdd.iter_nodes (fun node -> nodes := node :: !nodes) edge;
+  let ordered =
+    List.sort (fun (a : vnode) (b : vnode) -> compare a.level b.level) !nodes
+  in
+  Buffer.add_string buf (Printf.sprintf "ddvec %d\n" (List.length ordered));
+  let emit_child (child : vedge) =
+    Printf.sprintf "%s %s %d"
+      (float_repr (Cnum.re child.vw))
+      (float_repr (Cnum.im child.vw))
+      child.vt.vid
+  in
+  List.iter
+    (fun node ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %d %d %s %s\n" node.vid node.level
+           (emit_child node.v_low) (emit_child node.v_high)))
+    ordered;
+  Buffer.add_string buf
+    (Printf.sprintf "root %s %s %d\n"
+       (float_repr (Cnum.re edge.vw))
+       (float_repr (Cnum.im edge.vw))
+       edge.vt.vid);
+  Buffer.contents buf
+
+let tokens_of_line line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let parse_failure line message =
+  failwith (Printf.sprintf "Serialize: %s in %S" message line)
+
+let vector_of_string ctx text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  let table : (int, Vdd.edge) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.add table 0 { vw = Cnum.one; vt = v_terminal };
+  let edge_of line re im target =
+    let w = Cnum.make (float_of_string re) (float_of_string im) in
+    if Cnum.is_exact_zero w then v_zero
+    else
+      match Hashtbl.find_opt table (int_of_string target) with
+      | Some e -> Vdd.scale ctx (Context.cnum ctx w) e
+      | None -> parse_failure line "forward reference"
+  in
+  let root = ref None in
+  List.iter
+    (fun line ->
+      match tokens_of_line line with
+      | [ "ddvec"; _count ] -> ()
+      | [ "node"; id; level; lre; lim; lt; hre; him; ht ] ->
+        let low = edge_of line lre lim lt in
+        let high = edge_of line hre him ht in
+        let rebuilt = Vdd.make ctx (int_of_string level) low high in
+        Hashtbl.replace table (int_of_string id) rebuilt
+      | [ "root"; re; im; target ] -> root := Some (edge_of line re im target)
+      | _ -> parse_failure line "unrecognised line")
+    lines;
+  match !root with
+  | Some e -> e
+  | None -> failwith "Serialize: missing root line"
+
+(* --- matrices --------------------------------------------------------- *)
+
+let matrix_to_string edge =
+  let buf = Buffer.create 1024 in
+  let nodes = ref [] in
+  Mdd.iter_nodes (fun node -> nodes := node :: !nodes) edge;
+  let ordered =
+    List.sort (fun (a : mnode) (b : mnode) -> compare a.level b.level) !nodes
+  in
+  Buffer.add_string buf (Printf.sprintf "ddmat %d\n" (List.length ordered));
+  let emit_child (child : medge) =
+    Printf.sprintf "%s %s %d"
+      (float_repr (Cnum.re child.mw))
+      (float_repr (Cnum.im child.mw))
+      child.mt.mid
+  in
+  List.iter
+    (fun node ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %d %d %s %s %s %s\n" node.mid node.level
+           (emit_child node.m00) (emit_child node.m01) (emit_child node.m10)
+           (emit_child node.m11)))
+    ordered;
+  Buffer.add_string buf
+    (Printf.sprintf "root %s %s %d\n"
+       (float_repr (Cnum.re edge.mw))
+       (float_repr (Cnum.im edge.mw))
+       edge.mt.mid);
+  Buffer.contents buf
+
+let matrix_of_string ctx text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  let table : (int, Mdd.edge) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.add table 0 { mw = Cnum.one; mt = m_terminal };
+  let edge_of line re im target =
+    let w = Cnum.make (float_of_string re) (float_of_string im) in
+    if Cnum.is_exact_zero w then m_zero
+    else
+      match Hashtbl.find_opt table (int_of_string target) with
+      | Some e -> Mdd.scale ctx (Context.cnum ctx w) e
+      | None -> parse_failure line "forward reference"
+  in
+  let root = ref None in
+  List.iter
+    (fun line ->
+      match tokens_of_line line with
+      | [ "ddmat"; _count ] -> ()
+      | [ "node"; id; level; re00; im00; t00; re01; im01; t01; re10; im10;
+          t10; re11; im11; t11 ] ->
+        let e00 = edge_of line re00 im00 t00 in
+        let e01 = edge_of line re01 im01 t01 in
+        let e10 = edge_of line re10 im10 t10 in
+        let e11 = edge_of line re11 im11 t11 in
+        let rebuilt = Mdd.make ctx (int_of_string level) e00 e01 e10 e11 in
+        Hashtbl.replace table (int_of_string id) rebuilt
+      | [ "root"; re; im; target ] -> root := Some (edge_of line re im target)
+      | _ -> parse_failure line "unrecognised line")
+    lines;
+  match !root with
+  | Some e -> e
+  | None -> failwith "Serialize: missing root line"
+
+(* --- files ------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let length = in_channel_length ic in
+  let contents = really_input_string ic length in
+  close_in ic;
+  contents

@@ -1,0 +1,25 @@
+(** Decision diagrams {e without} edge weights — the representation of the
+    paper's Fig. 2b, where only exactly-equal sub-vectors can be shared and
+    each distinct amplitude needs its own terminal.  Provided for the size
+    comparison the paper draws against the edge-weighted Fig. 2c: convert a
+    weighted DD and compare node counts ("adding weights ... leads to a
+    more compact representation"). *)
+
+type t
+
+val of_vdd : Context.t -> Vdd.edge -> t
+(** Convert a weighted vector DD by pushing the accumulated edge weights
+    down to the terminals.  Sub-vectors that were shared only because they
+    are {e multiples} of each other become distinct nodes here. *)
+
+val node_count : t -> int
+(** Internal (branching) nodes. *)
+
+val leaf_count : t -> int
+(** Distinct terminal values (the paper counts these as nodes too). *)
+
+val total_count : t -> int
+(** [node_count + leaf_count]. *)
+
+val to_array : t -> n:int -> Dd_complex.Cnum.t array
+(** Dense expansion (tests; small [n]). *)

@@ -1,0 +1,308 @@
+open Dd_complex
+open Types
+
+type edge = Types.vedge
+
+let zero = v_zero
+
+(* Normalisation: both children are divided by the larger-magnitude weight
+   (low wins ties), which becomes the weight of the returned edge.  This is
+   canonical because weights are canonical (interning merges FP noise) and
+   numerically stable because normalised child weights have magnitude <= 1. *)
+let make ctx level low high =
+  if v_is_zero low && v_is_zero high then v_zero
+  else begin
+    assert (level >= 0);
+    assert (v_is_zero low || low.vt.level = level - 1);
+    assert (v_is_zero high || high.vt.level = level - 1);
+    let pivot =
+      if Cnum.mag2 low.vw >= Cnum.mag2 high.vw then low.vw else high.vw
+    in
+    let norm edge =
+      if v_is_zero edge then v_zero
+      else { vw = Context.cnum ctx (Cnum.div edge.vw pivot); vt = edge.vt }
+    in
+    let nlow = norm low and nhigh = norm high in
+    let key =
+      ( level,
+        Cnum.tag nlow.vw,
+        nlow.vt.vid,
+        Cnum.tag nhigh.vw,
+        nhigh.vt.vid )
+    in
+    let node =
+      match Hashtbl.find_opt ctx.Context.v_unique key with
+      | Some node -> node
+      | None ->
+        let node =
+          { vid = ctx.Context.next_vid; level; v_low = nlow; v_high = nhigh }
+        in
+        ctx.Context.next_vid <- ctx.Context.next_vid + 1;
+        ctx.Context.stats.v_nodes_created <-
+          ctx.Context.stats.v_nodes_created + 1;
+        Hashtbl.add ctx.Context.v_unique key node;
+        node
+    in
+    { vw = pivot; vt = node }
+  end
+
+let scale ctx s edge =
+  if Cnum.is_exact_zero s || v_is_zero edge then v_zero
+  else if Cnum.is_exact_one s then edge
+  else
+    let w = Context.cnum ctx (Cnum.mul s edge.vw) in
+    if Cnum.is_exact_zero w then v_zero else { vw = w; vt = edge.vt }
+
+let terminal_edge ctx w =
+  let w = Context.cnum ctx w in
+  if Cnum.is_exact_zero w then v_zero else { vw = w; vt = v_terminal }
+
+let basis ctx ~n index =
+  if index < 0 || (n < 63 && index >= 1 lsl n) then
+    invalid_arg "Vdd.basis: index out of range";
+  let rec build level edge =
+    if level >= n then edge
+    else
+      let next =
+        if (index lsr level) land 1 = 0 then make ctx level edge v_zero
+        else make ctx level v_zero edge
+      in
+      build (level + 1) next
+  in
+  build 0 (terminal_edge ctx Cnum.one)
+
+let of_array ctx amplitudes =
+  let len = Array.length amplitudes in
+  if len = 0 || len land (len - 1) <> 0 then
+    invalid_arg "Vdd.of_array: length must be a positive power of two";
+  let rec build level offset =
+    if level < 0 then terminal_edge ctx amplitudes.(offset)
+    else
+      let half = 1 lsl level in
+      make ctx level (build (level - 1) offset)
+        (build (level - 1) (offset + half))
+  in
+  let rec log2 k acc = if k = 1 then acc else log2 (k lsr 1) (acc + 1) in
+  build (log2 len 0 - 1) 0
+
+let to_array edge ~n =
+  if n > 24 then invalid_arg "Vdd.to_array: too many qubits";
+  let out = Array.make (1 lsl n) Cnum.zero in
+  let rec fill edge weight offset =
+    if not (v_is_zero edge) then begin
+      let weight = Cnum.mul weight edge.vw in
+      if v_is_terminal edge.vt then out.(offset) <- weight
+      else begin
+        let half = 1 lsl edge.vt.level in
+        fill edge.vt.v_low weight offset;
+        fill edge.vt.v_high weight (offset + half)
+      end
+    end
+  in
+  fill edge Cnum.one 0;
+  out
+
+let amplitude edge ~n index =
+  let rec walk edge level acc =
+    if v_is_zero edge then Cnum.zero
+    else
+      let acc = Cnum.mul acc edge.vw in
+      if level < 0 then acc
+      else
+        let child =
+          if (index lsr level) land 1 = 0 then edge.vt.v_low
+          else edge.vt.v_high
+        in
+        walk child (level - 1) acc
+  in
+  walk edge (n - 1) Cnum.one
+
+(* Memoised addition with the first operand's weight factored out:
+   wa*A + wb*B = wa * (A + (wb/wa) * B); the cache key is
+   (A.id, B.id, tag (wb/wa)) after a commutativity-normalising swap. *)
+let rec add ctx a b =
+  if v_is_zero a then b
+  else if v_is_zero b then a
+  else if v_is_terminal a.vt && v_is_terminal b.vt then
+    terminal_edge ctx (Cnum.add a.vw b.vw)
+  else begin
+    assert (a.vt.level = b.vt.level);
+    let a, b =
+      if
+        a.vt.vid < b.vt.vid
+        || (a.vt.vid = b.vt.vid && Cnum.tag a.vw <= Cnum.tag b.vw)
+      then (a, b)
+      else (b, a)
+    in
+    let ratio = Context.cnum ctx (Cnum.div b.vw a.vw) in
+    let key = (a.vt.vid, b.vt.vid, Cnum.tag ratio) in
+    let unit_result =
+      match Hashtbl.find_opt ctx.Context.add_v_cache key with
+      | Some r ->
+        ctx.Context.stats.add_v.hits <- ctx.Context.stats.add_v.hits + 1;
+        r
+      | None ->
+        ctx.Context.stats.add_v.misses <- ctx.Context.stats.add_v.misses + 1;
+        let na = a.vt and nb = b.vt in
+        let low = add ctx na.v_low (scale ctx ratio nb.v_low) in
+        let high = add ctx na.v_high (scale ctx ratio nb.v_high) in
+        let r = make ctx na.level low high in
+        Hashtbl.add ctx.Context.add_v_cache key r;
+        r
+    in
+    scale ctx a.vw unit_result
+  end
+
+let dot ctx a b =
+  let rec unit_dot na nb =
+    if v_is_terminal na then Cnum.one
+    else
+      let key = (na.vid, nb.vid) in
+      match Hashtbl.find_opt ctx.Context.dot_cache key with
+      | Some r -> r
+      | None ->
+        let part ea eb =
+          if v_is_zero ea || v_is_zero eb then Cnum.zero
+          else
+            Cnum.mul
+              (Cnum.mul (Cnum.conj ea.vw) eb.vw)
+              (unit_dot ea.vt eb.vt)
+        in
+        let r =
+          Cnum.add (part na.v_low nb.v_low) (part na.v_high nb.v_high)
+        in
+        Hashtbl.add ctx.Context.dot_cache key r;
+        r
+  in
+  if v_is_zero a || v_is_zero b then Cnum.zero
+  else begin
+    assert (a.vt.level = b.vt.level);
+    Cnum.mul (Cnum.mul (Cnum.conj a.vw) b.vw) (unit_dot a.vt b.vt)
+  end
+
+let iter_nodes f edge =
+  let seen = Hashtbl.create 256 in
+  let rec walk node =
+    if (not (v_is_terminal node)) && not (Hashtbl.mem seen node.vid) then begin
+      Hashtbl.add seen node.vid ();
+      f node;
+      if not (v_is_zero node.v_low) then walk node.v_low.vt;
+      if not (v_is_zero node.v_high) then walk node.v_high.vt
+    end
+  in
+  if not (v_is_zero edge) then walk edge.vt
+
+let node_count edge =
+  let count = ref 0 in
+  iter_nodes (fun _ -> incr count) edge;
+  !count
+
+let equal = v_edge_equal
+
+let approx_equal_array ?(tol = 1e-9) xs ys =
+  Array.length xs = Array.length ys
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i x -> if not (Cnum.approx_equal ~tol x ys.(i)) then ok := false)
+         xs;
+       !ok
+     end
+
+(* largest |amplitude| of any path below a node (top weight excluded),
+   cached per context *)
+let rec node_max_magnitude ctx node =
+  if v_is_terminal node then 1.
+  else
+    match Hashtbl.find_opt ctx.Context.max_mag_cache node.vid with
+    | Some x -> x
+    | None ->
+      let part e =
+        if v_is_zero e then 0.
+        else Cnum.mag e.vw *. node_max_magnitude ctx e.vt
+      in
+      let x = Float.max (part node.v_low) (part node.v_high) in
+      Hashtbl.add ctx.Context.max_mag_cache node.vid x;
+      x
+
+let top_amplitudes ctx ~n k edge =
+  if v_is_zero edge then []
+  else begin
+    (* best-first search: a frontier of (bound, index-prefix, edge) sorted
+       by decreasing bound; a completed path's bound is its exact
+       magnitude, so when a terminal pops first it is globally maximal *)
+    let module Frontier = Set.Make (struct
+      type t = float * int * Cnum.t * vnode
+
+      let compare (ba, ia, _, na) (bb, ib, _, nb) =
+        (* decreasing bound; disambiguate by index and node id *)
+        let c = compare bb ba in
+        if c <> 0 then c
+        else
+          let c = compare ia ib in
+          if c <> 0 then c else compare na.vid nb.vid
+    end) in
+    let initial_bound = Cnum.mag edge.vw *. node_max_magnitude ctx edge.vt in
+    let frontier =
+      ref (Frontier.singleton (initial_bound, 0, edge.vw, edge.vt))
+    in
+    let results = ref [] in
+    let found = ref 0 in
+    while !found < k && not (Frontier.is_empty !frontier) do
+      let ((_, index, amp, node) as entry) = Frontier.min_elt !frontier in
+      frontier := Frontier.remove entry !frontier;
+      if v_is_terminal node then begin
+        results := (index, amp) :: !results;
+        incr found
+      end
+      else begin
+        let push bit child =
+          if not (v_is_zero child) then begin
+            let amp = Cnum.mul amp child.vw in
+            let bound = Cnum.mag amp *. node_max_magnitude ctx child.vt in
+            let index = if bit = 0 then index else index lor (1 lsl node.level) in
+            frontier := Frontier.add (bound, index, amp, child.vt) !frontier
+          end
+        in
+        push 0 node.v_low;
+        push 1 node.v_high
+      end
+    done;
+    ignore n;
+    List.rev !results
+  end
+
+let truncate ctx ~threshold edge =
+  if v_is_zero edge then invalid_arg "Vdd.truncate: zero state";
+  let memo = Hashtbl.create 256 in
+  let rec prune node =
+    match Hashtbl.find_opt memo node.vid with
+    | Some e -> e
+    | None ->
+      let descend child =
+        if v_is_zero child then v_zero
+        else if Cnum.mag child.vw *. node_max_magnitude ctx child.vt < threshold
+        then v_zero
+        else scale ctx child.vw (prune child.vt)
+      in
+      let e =
+        if v_is_terminal node then { vw = Cnum.one; vt = v_terminal }
+        else make ctx node.level (descend node.v_low) (descend node.v_high)
+      in
+      Hashtbl.replace memo node.vid e;
+      e
+  in
+  let pruned = scale ctx edge.vw (prune edge.vt) in
+  if v_is_zero pruned then
+    invalid_arg "Vdd.truncate: threshold removes the whole state";
+  (* renormalise to unit norm *)
+  let rec norm2 node =
+    if v_is_terminal node then 1.
+    else
+      let part e =
+        if v_is_zero e then 0. else Cnum.mag2 e.vw *. norm2 e.vt
+      in
+      part node.v_low +. part node.v_high
+  in
+  let total = Cnum.mag2 pruned.vw *. norm2 pruned.vt in
+  scale ctx (Cnum.of_float (1. /. sqrt total)) pruned

@@ -1,0 +1,69 @@
+(** Vector decision diagrams: the state-vector representation of the paper's
+    Section II-B (Fig. 2c), with edge weights and shared sub-vectors. *)
+
+open Dd_complex
+
+type edge = Types.vedge
+
+val zero : edge
+(** Zero vector of any height. *)
+
+val make : Context.t -> int -> edge -> edge -> edge
+(** [make ctx level low high] is the normalised, hash-consed node whose low
+    and high children are [low] and [high] (both of height [level], with
+    canonical weights).  Normalisation divides both child weights by the one
+    with the largest magnitude (low on ties), which is propagated to the
+    returned edge. *)
+
+val scale : Context.t -> Cnum.t -> edge -> edge
+(** Multiply an edge weight by a scalar (result weight re-interned). *)
+
+val basis : Context.t -> n:int -> int -> edge
+(** [basis ctx ~n i] is the computational basis state [|i>] on [n] qubits
+    (bit [k] of [i] is the value of qubit [k]). *)
+
+val of_array : Context.t -> Cnum.t array -> edge
+(** Build a DD from a dense amplitude vector (length must be a power of
+    two).  Index bit [k] corresponds to qubit [k]. *)
+
+val to_array : edge -> n:int -> Cnum.t array
+(** Expand to a dense vector; intended for tests and small [n] (raises
+    [Invalid_argument] above 24 qubits). *)
+
+val amplitude : edge -> n:int -> int -> Cnum.t
+(** Amplitude of basis state [i]: the product of the edge weights along the
+    path selected by the bits of [i] (paper's Example 2). *)
+
+val add : Context.t -> edge -> edge -> edge
+(** Pointwise sum, memoised with the top weights factored out (paper's
+    Fig. 4). Operands must have equal heights. *)
+
+val dot : Context.t -> edge -> edge -> Cnum.t
+(** Inner product [<a|b>] (conjugate-linear in the first argument). *)
+
+val node_count : edge -> int
+(** Number of distinct non-terminal nodes reachable from the edge — the
+    paper's measure of DD size. *)
+
+val iter_nodes : (Types.vnode -> unit) -> edge -> unit
+(** Apply a function to every distinct non-terminal node (top-down order not
+    specified). *)
+
+val equal : edge -> edge -> bool
+(** Canonical equality (same node, same weight tag). *)
+
+val approx_equal_array : ?tol:float -> Cnum.t array -> Cnum.t array -> bool
+(** Component-wise comparison helper for tests. *)
+
+val top_amplitudes : Context.t -> n:int -> int -> edge -> (int * Dd_complex.Cnum.t) list
+(** [top_amplitudes ctx ~n k e] — the [k] basis states with the largest
+    amplitude magnitudes, best first, found by best-first search over the
+    DD with per-node magnitude bounds (no dense expansion, so it works on
+    registers far too wide for {!to_array}). *)
+
+val truncate : Context.t -> threshold:float -> edge -> edge
+(** Approximate simulation support: rebuild the DD with every sub-vector
+    whose total contribution (edge-weight magnitude times the sub-vector's
+    largest path magnitude) falls below [threshold] replaced by zero, then
+    renormalise to unit norm.  Raises [Invalid_argument] if everything
+    would be truncated. *)

@@ -1,0 +1,1 @@
+lib/dense/dense_state.ml: Array Circuit Cnum Dd_complex Gate List Random

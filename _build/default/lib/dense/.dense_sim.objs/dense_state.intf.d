@@ -1,0 +1,1 @@
+lib/dense/dense_state.mli: Circuit Cnum Dd_complex Gate Random

@@ -1,0 +1,1 @@
+lib/dense/sparse_state.ml: Array Circuit Cnum Dd_complex Gate Hashtbl List

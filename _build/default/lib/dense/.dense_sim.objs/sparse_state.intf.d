@@ -1,0 +1,1 @@
+lib/dense/sparse_state.mli: Circuit Dd_complex Gate

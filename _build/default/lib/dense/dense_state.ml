@@ -1,0 +1,128 @@
+open Dd_complex
+
+type t = { n : int; re : float array; im : float array }
+
+let create n =
+  if n <= 0 || n > 26 then invalid_arg "Dense_state.create: bad qubit count";
+  let size = 1 lsl n in
+  let state = { n; re = Array.make size 0.; im = Array.make size 0. } in
+  state.re.(0) <- 1.;
+  state
+
+let of_amplitudes amps =
+  let size = Array.length amps in
+  if size = 0 || size land (size - 1) <> 0 then
+    invalid_arg "Dense_state.of_amplitudes: length must be a power of two";
+  let rec log2 k acc = if k = 1 then acc else log2 (k lsr 1) (acc + 1) in
+  {
+    n = log2 size 0;
+    re = Array.map Cnum.re amps;
+    im = Array.map Cnum.im amps;
+  }
+
+let qubits state = state.n
+
+let controls_satisfied controls index =
+  List.for_all
+    (fun (c : Gate.control) ->
+      let bit = (index lsr c.qubit) land 1 = 1 in
+      bit = c.positive)
+    controls
+
+(* For every pair of indices differing only in the target bit (and whose
+   control bits are satisfied), apply the 2x2 matrix. *)
+let apply_gate state (gate : Gate.t) =
+  let m = Gate.matrix gate.kind in
+  let m00r = Cnum.re m.(0) and m00i = Cnum.im m.(0) in
+  let m01r = Cnum.re m.(1) and m01i = Cnum.im m.(1) in
+  let m10r = Cnum.re m.(2) and m10i = Cnum.im m.(2) in
+  let m11r = Cnum.re m.(3) and m11i = Cnum.im m.(3) in
+  let size = 1 lsl state.n in
+  let tbit = 1 lsl gate.target in
+  let re = state.re and im = state.im in
+  for i = 0 to size - 1 do
+    if i land tbit = 0 && controls_satisfied gate.controls i then begin
+      let j = i lor tbit in
+      let ar = re.(i) and ai = im.(i) in
+      let br = re.(j) and bi = im.(j) in
+      re.(i) <- (m00r *. ar) -. (m00i *. ai) +. (m01r *. br) -. (m01i *. bi);
+      im.(i) <- (m00r *. ai) +. (m00i *. ar) +. (m01r *. bi) +. (m01i *. br);
+      re.(j) <- (m10r *. ar) -. (m10i *. ai) +. (m11r *. br) -. (m11i *. bi);
+      im.(j) <- (m10r *. ai) +. (m10i *. ar) +. (m11r *. bi) +. (m11i *. br)
+    end
+  done
+
+let run state circuit =
+  if Circuit.(circuit.qubits) <> state.n then
+    invalid_arg "Dense_state.run: qubit count mismatch";
+  List.iter (apply_gate state) (Circuit.flatten circuit)
+
+let amplitude state i = Cnum.make state.re.(i) state.im.(i)
+
+let to_array state =
+  Array.init (Array.length state.re) (fun i -> amplitude state i)
+
+let norm2 state =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i r -> acc := !acc +. (r *. r) +. (state.im.(i) *. state.im.(i)))
+    state.re;
+  !acc
+
+let probability_one state ~qubit =
+  let bit = 1 lsl qubit in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i r ->
+      if i land bit <> 0 then
+        acc := !acc +. (r *. r) +. (state.im.(i) *. state.im.(i)))
+    state.re;
+  !acc /. norm2 state
+
+let measure_qubit rng state ~qubit =
+  let p1 = probability_one state ~qubit in
+  let outcome = Random.State.float rng 1. < p1 in
+  let bit = 1 lsl qubit in
+  let keep = if outcome then bit else 0 in
+  let p = if outcome then p1 else 1. -. p1 in
+  let scale = 1. /. sqrt p in
+  Array.iteri
+    (fun i _ ->
+      if i land bit = keep then begin
+        state.re.(i) <- state.re.(i) *. scale;
+        state.im.(i) <- state.im.(i) *. scale
+      end
+      else begin
+        state.re.(i) <- 0.;
+        state.im.(i) <- 0.
+      end)
+    state.re;
+  outcome
+
+let sample rng state =
+  let total = norm2 state in
+  let target = Random.State.float rng total in
+  let acc = ref 0. in
+  let result = ref (Array.length state.re - 1) in
+  (try
+     Array.iteri
+       (fun i r ->
+         acc := !acc +. (r *. r) +. (state.im.(i) *. state.im.(i));
+         if !acc > target then begin
+           result := i;
+           raise Exit
+         end)
+       state.re
+   with Exit -> ());
+  !result
+
+let fidelity a b =
+  if a.n <> b.n then invalid_arg "Dense_state.fidelity: size mismatch";
+  let dr = ref 0. and di = ref 0. in
+  Array.iteri
+    (fun i ar ->
+      let ai = a.im.(i) and br = b.re.(i) and bi = b.im.(i) in
+      dr := !dr +. (ar *. br) +. (ai *. bi);
+      di := !di +. (ar *. bi) -. (ai *. br))
+    a.re;
+  (!dr *. !dr) +. (!di *. !di)

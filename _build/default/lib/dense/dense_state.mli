@@ -1,0 +1,37 @@
+(** Array-based state-vector simulator — the "conventional" simulation style
+    the paper contrasts DDs with (its references [13]-[17]), and the
+    correctness oracle for the DD engine in this repository's tests.
+    Memory is [2^(n+4)] bytes, so it is practical up to ~24 qubits. *)
+
+open Dd_complex
+
+type t
+
+val create : int -> t
+(** [create n]: [n]-qubit register initialised to [|0...0>]. *)
+
+val of_amplitudes : Cnum.t array -> t
+(** Start from a given state vector (length must be a power of two). *)
+
+val qubits : t -> int
+
+val apply_gate : t -> Gate.t -> unit
+(** In-place application of an elementary gate (with its controls). *)
+
+val run : t -> Circuit.t -> unit
+(** Apply every gate of the (flattened) circuit. *)
+
+val amplitude : t -> int -> Cnum.t
+val to_array : t -> Cnum.t array
+val norm2 : t -> float
+
+val probability_one : t -> qubit:int -> float
+
+val measure_qubit : Random.State.t -> t -> qubit:int -> bool
+(** Sample one qubit and collapse the state in place. *)
+
+val sample : Random.State.t -> t -> int
+(** Sample a basis index from the current distribution (no collapse). *)
+
+val fidelity : t -> t -> float
+(** [|<a|b>|^2]. *)

@@ -1,0 +1,65 @@
+open Dd_complex
+
+type t = { n : int; mutable amps : (int, Cnum.t) Hashtbl.t }
+
+let cutoff = 1e-14
+
+let create n =
+  if n <= 0 || n > 62 then invalid_arg "Sparse_state.create";
+  let amps = Hashtbl.create 64 in
+  Hashtbl.add amps 0 Cnum.one;
+  { n; amps }
+
+let qubits state = state.n
+let support_size state = Hashtbl.length state.amps
+
+let get amps index =
+  match Hashtbl.find_opt amps index with Some a -> a | None -> Cnum.zero
+
+let controls_satisfied controls index =
+  List.for_all
+    (fun (c : Gate.control) ->
+      ((index lsr c.qubit) land 1 = 1) = c.positive)
+    controls
+
+(* One pass over the support: every occupied index contributes to the two
+   indices of its target-bit pair.  Building a fresh table keeps the
+   iteration sound and drops amplitudes that cancel below the cutoff. *)
+let apply_gate state (gate : Gate.t) =
+  let m = Gate.matrix gate.kind in
+  let tbit = 1 lsl gate.target in
+  let next = Hashtbl.create (2 * Hashtbl.length state.amps) in
+  let bump index delta =
+    let updated = Cnum.add (get next index) delta in
+    if Cnum.mag2 updated < cutoff *. cutoff then Hashtbl.remove next index
+    else Hashtbl.replace next index updated
+  in
+  Hashtbl.iter
+    (fun index amp ->
+      if not (controls_satisfied gate.controls index) then bump index amp
+      else if index land tbit = 0 then begin
+        bump index (Cnum.mul m.(0) amp);
+        bump (index lor tbit) (Cnum.mul m.(2) amp)
+      end
+      else begin
+        bump (index land lnot tbit) (Cnum.mul m.(1) amp);
+        bump index (Cnum.mul m.(3) amp)
+      end)
+    state.amps;
+  state.amps <- next
+
+let run state circuit =
+  if Circuit.(circuit.qubits) <> state.n then
+    invalid_arg "Sparse_state.run: qubit count mismatch";
+  List.iter (apply_gate state) (Circuit.flatten circuit)
+
+let amplitude state index = get state.amps index
+
+let norm2 state =
+  Hashtbl.fold (fun _ amp acc -> acc +. Cnum.mag2 amp) state.amps 0.
+
+let to_array state =
+  if state.n > 24 then invalid_arg "Sparse_state.to_array: too many qubits";
+  let out = Array.make (1 lsl state.n) Cnum.zero in
+  Hashtbl.iter (fun index amp -> out.(index) <- amp) state.amps;
+  out

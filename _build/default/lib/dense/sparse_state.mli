@@ -1,0 +1,27 @@
+(** Sparse state-vector simulator: a hash map from basis-state index to
+    amplitude.  The third point of comparison next to the dense array
+    simulator and the DD engine — it wins when states have few non-zero
+    amplitudes (basis-state-like circuits), loses badly once superposition
+    spreads: its size tracks the {e support}, where DDs track
+    {e structure}.  Qubit counts are limited only by the support size, not
+    by [2^n]. *)
+
+type t
+
+val create : int -> t
+(** [create n]: [n]-qubit register in [|0...0>] (support size 1). *)
+
+val qubits : t -> int
+
+val support_size : t -> int
+(** Number of non-zero amplitudes currently stored — the sparse analogue
+    of the DD node count. *)
+
+val apply_gate : t -> Gate.t -> unit
+val run : t -> Circuit.t -> unit
+
+val amplitude : t -> int -> Dd_complex.Cnum.t
+val norm2 : t -> float
+
+val to_array : t -> Dd_complex.Cnum.t array
+(** Dense expansion (small [n] only; raises above 24 qubits). *)

@@ -1,0 +1,1 @@
+test/test_algorithms2.ml: Alcotest Array Dd Dd_sim Deutsch_jozsa Float Gate List Printf Qaoa Qpe Util

@@ -1,0 +1,1 @@
+test/test_algorithms3.ml: Alcotest Counting Dd Dd_complex Dd_sim Gf2 List Printf Random Simon Util

@@ -1,0 +1,1 @@
+test/test_approx.ml: Alcotest Array Cnum Dd Dd_complex Dd_sim Gate List Printf Qft Standard Supremacy Util

@@ -1,0 +1,1 @@
+test/test_benchmark_files.ml: Alcotest Circuit Dd_complex Dd_sim Filename List Printf Qasm Sys Util

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Dd_complex Gate List Util

@@ -1,0 +1,1 @@
+test/test_cnum.ml: Alcotest Cnum Ctable Dd_complex Float Util

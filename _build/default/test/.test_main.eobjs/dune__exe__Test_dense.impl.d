@@ -1,0 +1,1 @@
+test/test_dense.ml: Alcotest Cnum Dd_complex Dense_state Gate List Printf Random Standard Util

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Dd Dd_complex Gate String Util

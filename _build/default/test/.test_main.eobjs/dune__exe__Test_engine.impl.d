@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Cnum Dd Dd_complex Dd_sim Gate List Printf Standard Util

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Circuit Dd_complex Dd_sim Gate List Optimize Printf Qft Standard Util

@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Circuit Dd Dd_complex Dd_sim Gate List Standard Util

@@ -1,0 +1,1 @@
+test/test_grover.ml: Alcotest Array Circuit Dd Dd_complex Dd_sim Gate Grover List Printf Util

@@ -1,0 +1,1 @@
+test/test_internals.ml: Alcotest Dd Dd_sim Format Gate Standard String Util

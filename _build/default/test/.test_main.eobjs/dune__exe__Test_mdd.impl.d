@@ -1,0 +1,1 @@
+test/test_mdd.ml: Alcotest Array Cnum Dd Dd_complex Gate List Printf Util

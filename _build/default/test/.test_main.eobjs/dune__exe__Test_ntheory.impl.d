@@ -1,0 +1,1 @@
+test/test_ntheory.ml: Alcotest List Ntheory Util

@@ -1,0 +1,1 @@
+test/test_observable.ml: Alcotest Array Dd_complex Dd_sim Gate List Standard Util

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Circuit Float Gate List Optimize Printf Standard Util

@@ -1,0 +1,1 @@
+test/test_plot.ml: Alcotest Dd_sim List String Util

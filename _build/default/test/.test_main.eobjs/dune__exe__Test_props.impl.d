@@ -1,0 +1,1 @@
+test/test_props.ml: Array Circuit Cnum Dd Dd_complex Dd_sim Dense_state Gate List Ntheory Optimize Printf QCheck QCheck_alcotest Qasm Random Repeats Standard String

@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Circuit Dd_complex Dd_sim Float Gate List Qasm Standard String Util

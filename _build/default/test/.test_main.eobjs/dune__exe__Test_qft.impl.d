@@ -1,0 +1,1 @@
+test/test_qft.ml: Alcotest Array Circuit Cnum Dd Dd_complex Dd_sim Float Gate List Printf Qft Util

@@ -1,0 +1,1 @@
+test/test_repeats.ml: Alcotest Circuit Dd_sim Gate Grover List Repeats Standard Util

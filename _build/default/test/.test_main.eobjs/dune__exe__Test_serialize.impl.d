@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Circuit Dd Dd_sim Filename Printf Standard Sys Util

@@ -1,0 +1,1 @@
+test/test_shor.ml: Alcotest Array Circuit Dd_sim Gate List Ntheory Printf Qft Shor Util

@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Cnum Dd_complex Gate List Printf Sparse_state Standard Util

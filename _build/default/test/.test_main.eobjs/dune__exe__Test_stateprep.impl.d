@@ -1,0 +1,1 @@
+test/test_stateprep.ml: Alcotest Array Circuit Cnum Dd_complex Dd_sim List Printf Random Stateprep Util

@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest Circuit Dd Dd_sim Gate Grover List Printf Standard Util

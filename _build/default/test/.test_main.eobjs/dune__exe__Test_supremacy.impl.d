@@ -1,0 +1,1 @@
+test/test_supremacy.ml: Alcotest Circuit Dd_sim Gate Hashtbl List Printf Supremacy Util

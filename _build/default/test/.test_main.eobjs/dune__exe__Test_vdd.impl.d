@@ -1,0 +1,1 @@
+test/test_vdd.ml: Alcotest Array Cnum Dd Dd_complex Printf Util

@@ -1,0 +1,1 @@
+test/test_xeb.ml: Alcotest Dd_sim Gate List Printf Supremacy Util Xeb

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array Circuit Cnum Dd Dd_complex Dd_sim Dense_state Gate List Printf

@@ -1,0 +1,168 @@
+(* QPE, Deutsch-Jozsa and QAOA. *)
+
+open Util
+
+(* --- QPE ------------------------------------------------------------ *)
+
+let phase_gate_power theta ~control ~power =
+  (* U = P(theta) on qubit 0; U^power = P(power * theta) *)
+  [
+    Gate.make ~controls:[ Gate.ctrl control ]
+      (Gate.Phase (float_of_int power *. theta))
+      0;
+  ]
+
+let test_qpe_exact_phase () =
+  (* phi = k/16 is exactly representable with 4 counting bits *)
+  List.iter
+    (fun k ->
+      let theta = 2. *. Float.pi *. float_of_int k /. 16. in
+      let measured =
+        Qpe.estimate ~prepare:[ Gate.x 0 ] ~precision:4 ~target_qubits:1
+          ~controlled_power:(phase_gate_power theta) ()
+      in
+      check_int (Printf.sprintf "phase %d/16 recovered" k) k measured)
+    [ 0; 1; 5; 8; 15 ]
+
+let test_qpe_t_gate () =
+  (* T has eigenphase 1/8 on |1> *)
+  let theta = Float.pi /. 4. in
+  let measured =
+    Qpe.estimate ~prepare:[ Gate.x 0 ] ~precision:3 ~target_qubits:1
+      ~controlled_power:(phase_gate_power theta) ()
+  in
+  check_int "T eigenphase = 1/8" 1 measured
+
+let test_qpe_eigenstate_zero () =
+  (* |0> has eigenvalue 1 for a phase gate: estimate must be 0 *)
+  let theta = 1.234 in
+  let measured =
+    Qpe.estimate ~precision:4 ~target_qubits:1
+      ~controlled_power:(phase_gate_power theta) ()
+  in
+  check_int "|0> eigenphase is 0" 0 measured
+
+let test_qpe_register_helpers () =
+  let counting = Qpe.counting_register ~precision:4 ~target_qubits:4 in
+  check_int "counting register position" 4 counting.(0);
+  check_int "counting register top" 7 counting.(3);
+  Alcotest.check_raises "precision 0 rejected"
+    (Invalid_argument "Qpe.circuit: need precision >= 1") (fun () ->
+      ignore
+        (Qpe.circuit ~precision:0 ~target_qubits:1
+           ~controlled_power:(fun ~control:_ ~power:_ -> [])))
+
+(* --- Deutsch-Jozsa --------------------------------------------------- *)
+
+let test_dj_constant () =
+  check_bool "f = const false" true
+    (Deutsch_jozsa.run ~n:5 (fun _ -> false) = Deutsch_jozsa.Constant);
+  check_bool "f = const true" true
+    (Deutsch_jozsa.run ~n:5 (fun _ -> true) = Deutsch_jozsa.Constant)
+
+let test_dj_balanced () =
+  check_bool "f = lowest bit" true
+    (Deutsch_jozsa.run ~n:5 (fun x -> x land 1 = 1) = Deutsch_jozsa.Balanced);
+  check_bool "f = parity" true
+    (Deutsch_jozsa.run ~n:4
+       (fun x ->
+         let rec parity x acc = if x = 0 then acc else parity (x lsr 1) (acc <> (x land 1 = 1)) in
+         parity x false)
+    = Deutsch_jozsa.Balanced);
+  check_bool "f = x < half" true
+    (Deutsch_jozsa.run ~n:6 (fun x -> x < 32) = Deutsch_jozsa.Balanced)
+
+let test_dj_probabilities_sharp () =
+  check_float "constant probability exactly 1" 1.
+    (Deutsch_jozsa.classify_probability ~n:6 (fun _ -> true));
+  check_float "balanced probability exactly 0" 0.
+    (Deutsch_jozsa.classify_probability ~n:6 (fun x -> x land 1 = 1))
+
+let test_dj_oracle_is_unitary () =
+  let ctx = fresh_ctx () in
+  let u = Deutsch_jozsa.oracle_dd ctx ~n:4 (fun x -> x mod 3 = 0) in
+  check_bool "diagonal oracle is unitary" true
+    (Dd.Mdd.equal (Dd.Mdd.identity ctx 4)
+       (Dd.Mdd.mul ctx (Dd.Mdd.adjoint ctx u) u))
+
+(* --- QAOA ------------------------------------------------------------ *)
+
+let triangle = [ (0, 1); (1, 2); (0, 2) ]
+let square = [ (0, 1); (1, 2); (2, 3); (3, 0) ]
+
+let test_qaoa_uniform_start () =
+  (* with zero angles the state stays uniform: every edge contributes 1/2 *)
+  let engine = Qaoa.run ~n:4 square [ (0., 0.) ] in
+  check_float "uniform cut expectation" 2. (Qaoa.cut_expectation engine square)
+
+let test_qaoa_brute_force () =
+  check_int "triangle max cut" 2 (Qaoa.max_cut_brute_force ~n:3 triangle);
+  check_int "square max cut" 4 (Qaoa.max_cut_brute_force ~n:4 square)
+
+let test_qaoa_single_edge_optimal () =
+  (* p = 1 QAOA solves a single edge exactly; the default grid contains the
+     optimal angles (gamma = pi/4, beta = pi/4) *)
+  let graph = [ (0, 1) ] in
+  let _params, best = Qaoa.grid_search ~resolution:12 ~n:2 graph () in
+  check_bool
+    (Printf.sprintf "single edge solved exactly (got %.4f)" best)
+    true
+    (best > 0.999)
+
+let test_qaoa_grid_search_improves () =
+  let (_params, best_value) = Qaoa.grid_search ~resolution:6 ~n:3 triangle () in
+  let baseline =
+    Qaoa.cut_expectation (Qaoa.run ~n:3 triangle [ (0., 0.) ]) triangle
+  in
+  check_bool "optimised parameters beat zero angles" true
+    (best_value > baseline +. 0.1);
+  check_bool "expectation below classical optimum" true
+    (best_value
+    <= float_of_int (Qaoa.max_cut_brute_force ~n:3 triangle) +. 1e-9)
+
+let test_qaoa_expectation_matches_sampling () =
+  let graph = square in
+  let engine = Qaoa.run ~n:4 graph [ (0.6, 0.4) ] in
+  let expectation = Qaoa.cut_expectation engine graph in
+  (* estimate the same quantity by sampling *)
+  let samples = 4000 in
+  let total = ref 0 in
+  for _ = 1 to samples do
+    let bits = Dd_sim.Engine.sample engine in
+    List.iter
+      (fun (u, v) ->
+        if (bits lsr u) land 1 <> (bits lsr v) land 1 then incr total)
+      graph
+  done;
+  let sampled = float_of_int !total /. float_of_int samples in
+  check_bool
+    (Printf.sprintf "sampled %.3f vs expectation %.3f" sampled expectation)
+    true
+    (abs_float (sampled -. expectation) < 0.1)
+
+let test_qaoa_rejects_bad_graph () =
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Qaoa: self loop") (fun () ->
+      ignore (Qaoa.circuit ~n:3 [ (1, 1) ] [ (0.1, 0.1) ]))
+
+let suite =
+  [
+    Alcotest.test_case "qpe_exact_phase" `Quick test_qpe_exact_phase;
+    Alcotest.test_case "qpe_t_gate" `Quick test_qpe_t_gate;
+    Alcotest.test_case "qpe_eigenstate_zero" `Quick test_qpe_eigenstate_zero;
+    Alcotest.test_case "qpe_register_helpers" `Quick
+      test_qpe_register_helpers;
+    Alcotest.test_case "dj_constant" `Quick test_dj_constant;
+    Alcotest.test_case "dj_balanced" `Quick test_dj_balanced;
+    Alcotest.test_case "dj_sharp" `Quick test_dj_probabilities_sharp;
+    Alcotest.test_case "dj_oracle_unitary" `Quick test_dj_oracle_is_unitary;
+    Alcotest.test_case "qaoa_uniform" `Quick test_qaoa_uniform_start;
+    Alcotest.test_case "qaoa_brute_force" `Quick test_qaoa_brute_force;
+    Alcotest.test_case "qaoa_single_edge" `Quick
+      test_qaoa_single_edge_optimal;
+    Alcotest.test_case "qaoa_grid_search" `Quick
+      test_qaoa_grid_search_improves;
+    Alcotest.test_case "qaoa_sampling" `Quick
+      test_qaoa_expectation_matches_sampling;
+    Alcotest.test_case "qaoa_bad_graph" `Quick test_qaoa_rejects_bad_graph;
+  ]

@@ -1,0 +1,176 @@
+(* top_amplitudes, truncation, and the unweighted-DD size comparison. *)
+
+open Dd_complex
+open Util
+
+let r = Cnum.of_float
+
+(* --- top_amplitudes --------------------------------------------------- *)
+
+let test_top_amplitudes_order () =
+  let ctx = fresh_ctx () in
+  let v = [| r 0.1; r 0.7; r 0.2; r 0.3; r 0.5; r 0.05; r 0.25; r 0.15 |] in
+  let e = Dd.Vdd.of_array ctx v in
+  let top = Dd.Vdd.top_amplitudes ctx ~n:3 3 e in
+  match top with
+  | [ (i1, a1); (i2, a2); (i3, a3) ] ->
+    check_int "largest" 1 i1;
+    check_cnum "largest amplitude" (r 0.7) a1;
+    check_int "second" 4 i2;
+    check_cnum "second amplitude" (r 0.5) a2;
+    check_int "third" 3 i3;
+    check_cnum "third amplitude" (r 0.3) a3
+  | _ -> Alcotest.fail "expected three results"
+
+let test_top_amplitudes_matches_dense () =
+  let ctx = fresh_ctx () in
+  let circuit = Standard.random_circuit ~seed:17 ~qubits:6 ~gates:50 () in
+  let engine = Dd_sim.Engine.create ~context:ctx 6 in
+  Dd_sim.Engine.run engine circuit;
+  let state = Dd_sim.Engine.state engine in
+  let top = Dd.Vdd.top_amplitudes ctx ~n:6 5 state in
+  let dense = Dd.Vdd.to_array state ~n:6 in
+  let sorted =
+    Array.mapi (fun i a -> (Cnum.mag2 a, i)) dense
+    |> Array.to_list
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+  in
+  List.iteri
+    (fun rank (index, amp) ->
+      let expected_mag2, _ = List.nth sorted rank in
+      check_float
+        (Printf.sprintf "rank %d magnitude" rank)
+        expected_mag2 (Cnum.mag2 amp);
+      check_float
+        (Printf.sprintf "rank %d amplitude consistent" rank)
+        (Cnum.mag2 dense.(index))
+        (Cnum.mag2 amp))
+    top
+
+let test_top_amplitudes_wide_register () =
+  (* 30 qubits: dense expansion impossible, DD search instant *)
+  let ctx = fresh_ctx () in
+  let n = 30 in
+  let e = Dd.Vdd.basis ctx ~n 123456789 in
+  match Dd.Vdd.top_amplitudes ctx ~n 1 e with
+  | [ (index, amp) ] ->
+    check_int "finds the basis state" 123456789 index;
+    check_cnum "with amplitude one" Cnum.one amp
+  | _ -> Alcotest.fail "expected one result"
+
+let test_top_amplitudes_k_larger_than_support () =
+  let ctx = fresh_ctx () in
+  let e = Dd.Vdd.basis ctx ~n:3 2 in
+  check_int "only one non-zero amplitude exists" 1
+    (List.length (Dd.Vdd.top_amplitudes ctx ~n:3 10 e))
+
+(* --- truncate ---------------------------------------------------------- *)
+
+let test_truncate_removes_small_branches () =
+  let ctx = fresh_ctx () in
+  let eps = 1e-4 in
+  let v = [| r (sqrt (1. -. (eps *. eps))); r 0.; r eps; r 0. |] in
+  let e = Dd.Vdd.of_array ctx v in
+  let truncated = Dd.Vdd.truncate ctx ~threshold:1e-3 e in
+  check_cnum "small branch removed" Cnum.zero
+    (Dd.Vdd.amplitude truncated ~n:2 2);
+  check_float "renormalised" 1. (Dd.Measure.norm2 ctx truncated);
+  check_float "dominant amplitude now exactly one" 1.
+    (Cnum.mag2 (Dd.Vdd.amplitude truncated ~n:2 0))
+
+let test_truncate_identity_when_threshold_tiny () =
+  let ctx = fresh_ctx () in
+  let circuit = Standard.random_circuit ~seed:23 ~qubits:5 ~gates:40 () in
+  let engine = Dd_sim.Engine.create ~context:ctx 5 in
+  Dd_sim.Engine.run engine circuit;
+  let state = Dd_sim.Engine.state engine in
+  let truncated = Dd.Vdd.truncate ctx ~threshold:1e-15 state in
+  check_cnum_array "nothing removed below machine noise"
+    (Dd.Vdd.to_array state ~n:5)
+    (Dd.Vdd.to_array truncated ~n:5)
+
+let test_truncate_preserves_fidelity () =
+  let ctx = fresh_ctx () in
+  let circuit = Supremacy.circuit ~seed:2 ~rows:3 ~cols:3 ~cycles:10 () in
+  let engine = Dd_sim.Engine.create ~context:ctx 9 in
+  Dd_sim.Engine.run engine circuit;
+  let state = Dd_sim.Engine.state engine in
+  let truncated = Dd.Vdd.truncate ctx ~threshold:0.02 state in
+  let fidelity = Cnum.mag2 (Dd.Vdd.dot ctx state truncated) in
+  check_bool
+    (Printf.sprintf "mild truncation keeps high fidelity (%.4f)" fidelity)
+    true (fidelity > 0.9);
+  check_bool "and shrinks (or keeps) the DD" true
+    (Dd.Vdd.node_count truncated <= Dd.Vdd.node_count state)
+
+let test_truncate_rejects_overzealous () =
+  let ctx = fresh_ctx () in
+  let e = Dd.Vdd.basis ctx ~n:2 1 in
+  Alcotest.check_raises "threshold kills the state"
+    (Invalid_argument "Vdd.truncate: threshold removes the whole state")
+    (fun () -> ignore (Dd.Vdd.truncate ctx ~threshold:2. e))
+
+(* --- unweighted comparison --------------------------------------------- *)
+
+let test_unweighted_roundtrip () =
+  let ctx = fresh_ctx () in
+  let v = [| r 0.; r 0.5; r (-0.5); r 0.; r 0.5; r 0.; r 0.; r 0.5 |] in
+  let e = Dd.Vdd.of_array ctx v in
+  check_cnum_array "unweighted expansion matches" v
+    (Dd.Unweighted.to_array (Dd.Unweighted.of_vdd ctx e) ~n:3)
+
+let test_unweighted_paper_figure_sizes () =
+  (* the paper's Fig. 2 example vector: [0,0,0,0, 1/2,-1/2, 1/2,1/2] *)
+  let ctx = fresh_ctx () in
+  let v = [| r 0.; r 0.; r 0.; r 0.; r 0.5; r (-0.5); r 0.5; r 0.5 |] in
+  let weighted = Dd.Vdd.of_array ctx v in
+  let unweighted = Dd.Unweighted.of_vdd ctx weighted in
+  (* weighted: 4 internal nodes + shared terminal; unweighted needs extra
+     nodes because -1/2 sub-vectors cannot share with +1/2 ones *)
+  check_int "weighted size (Fig. 2c)" 4 (Dd.Vdd.node_count weighted);
+  check_bool "unweighted (Fig. 2b) is strictly bigger" true
+    (Dd.Unweighted.total_count unweighted
+    > Dd.Vdd.node_count weighted + 1);
+  check_int "three distinct leaves (0, 1/2, -1/2)" 3
+    (Dd.Unweighted.leaf_count unweighted)
+
+let test_unweighted_phase_states_blow_up () =
+  (* a phase-gradient state has a linear weighted DD but a large
+     unweighted one: the motivation for edge weights *)
+  let ctx = fresh_ctx () in
+  let n = 6 in
+  let engine = Dd_sim.Engine.create ~context:ctx n in
+  (* QFT of |1> has 2^n distinct phases; QFT of |0> would be uniform and
+     shareable even without weights *)
+  Dd_sim.Engine.apply_gate engine (Gate.x 0);
+  Dd_sim.Engine.run engine (Qft.circuit n);
+  let state = Dd_sim.Engine.state engine in
+  let unweighted = Dd.Unweighted.of_vdd ctx state in
+  check_bool "weighted stays small" true (Dd.Vdd.node_count state <= 2 * n);
+  check_bool "unweighted explodes" true
+    (Dd.Unweighted.total_count unweighted > 4 * Dd.Vdd.node_count state)
+
+let suite =
+  [
+    Alcotest.test_case "top_order" `Quick test_top_amplitudes_order;
+    Alcotest.test_case "top_matches_dense" `Quick
+      test_top_amplitudes_matches_dense;
+    Alcotest.test_case "top_wide_register" `Quick
+      test_top_amplitudes_wide_register;
+    Alcotest.test_case "top_k_overflow" `Quick
+      test_top_amplitudes_k_larger_than_support;
+    Alcotest.test_case "truncate_small" `Quick
+      test_truncate_removes_small_branches;
+    Alcotest.test_case "truncate_identity" `Quick
+      test_truncate_identity_when_threshold_tiny;
+    Alcotest.test_case "truncate_fidelity" `Quick
+      test_truncate_preserves_fidelity;
+    Alcotest.test_case "truncate_rejects" `Quick
+      test_truncate_rejects_overzealous;
+    Alcotest.test_case "unweighted_roundtrip" `Quick
+      test_unweighted_roundtrip;
+    Alcotest.test_case "unweighted_fig2" `Quick
+      test_unweighted_paper_figure_sizes;
+    Alcotest.test_case "unweighted_blowup" `Quick
+      test_unweighted_phase_states_blow_up;
+  ]

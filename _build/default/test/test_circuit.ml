@@ -1,0 +1,144 @@
+open Util
+
+let test_create_validates_range () =
+  Alcotest.check_raises "qubit out of range"
+    (Invalid_argument "Circuit: qubit 2 out of range (2 qubits)") (fun () ->
+      ignore (Circuit.of_gates ~qubits:2 [ Gate.x 2 ]))
+
+let test_create_validates_duplicates () =
+  Alcotest.check_raises "control equals target"
+    (Invalid_argument "Circuit: gate touches the same qubit twice") (fun () ->
+      ignore (Circuit.of_gates ~qubits:2 [ Gate.cx 1 1 ]))
+
+let test_create_validates_nested_repeat () =
+  Alcotest.check_raises "bad gate inside repeat"
+    (Invalid_argument "Circuit: qubit 5 out of range (2 qubits)") (fun () ->
+      ignore
+        (Circuit.create ~qubits:2
+           [ Circuit.repeat 2 [ Circuit.gate (Gate.h 5) ] ]))
+
+let test_flatten_unrolls () =
+  let circuit =
+    Circuit.create ~qubits:2
+      [
+        Circuit.gate (Gate.h 0);
+        Circuit.repeat 3
+          [ Circuit.gate (Gate.x 0); Circuit.gate (Gate.cx 0 1) ];
+        Circuit.gate (Gate.h 1);
+      ]
+  in
+  let gates = Circuit.flatten circuit in
+  check_int "flattened length" 8 (List.length gates);
+  check_int "gate_count agrees" 8 (Circuit.gate_count circuit)
+
+let test_flatten_nested_repeats () =
+  let circuit =
+    Circuit.create ~qubits:1
+      [ Circuit.repeat 2 [ Circuit.repeat 3 [ Circuit.gate (Gate.x 0) ] ] ]
+  in
+  check_int "2 * 3 unrolled" 6 (List.length (Circuit.flatten circuit))
+
+let test_repeat_zero () =
+  let circuit =
+    Circuit.create ~qubits:1
+      [ Circuit.repeat 0 [ Circuit.gate (Gate.x 0) ] ]
+  in
+  check_int "zero repeats vanish" 0 (Circuit.gate_count circuit)
+
+let test_depth_parallel_gates () =
+  let circuit =
+    Circuit.of_gates ~qubits:4 [ Gate.h 0; Gate.h 1; Gate.h 2; Gate.h 3 ]
+  in
+  check_int "parallel layer has depth 1" 1 (Circuit.depth circuit)
+
+let test_depth_serial_dependency () =
+  let circuit =
+    Circuit.of_gates ~qubits:3 [ Gate.h 0; Gate.cx 0 1; Gate.cx 1 2 ]
+  in
+  check_int "chain has depth 3" 3 (Circuit.depth circuit)
+
+let test_append () =
+  let a = Circuit.of_gates ~qubits:2 [ Gate.h 0 ] in
+  let b = Circuit.of_gates ~qubits:2 [ Gate.cx 0 1 ] in
+  check_int "append concatenates" 2 (Circuit.gate_count (Circuit.append a b))
+
+let test_append_mismatch () =
+  let a = Circuit.of_gates ~qubits:2 [ Gate.h 0 ] in
+  let b = Circuit.of_gates ~qubits:3 [ Gate.h 0 ] in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Circuit.append: qubit counts differ") (fun () ->
+      ignore (Circuit.append a b))
+
+let test_adjoint_undoes () =
+  let circuit =
+    Circuit.of_gates ~qubits:3
+      [ Gate.h 0; Gate.t_gate 1; Gate.cx 0 2; Gate.rz 0.7 2; Gate.s 1 ]
+  in
+  let round_trip = Circuit.append circuit (Circuit.adjoint circuit) in
+  let state = dd_state_of_circuit round_trip in
+  check_cnum "back to |000>" Dd_complex.Cnum.one state.(0);
+  check_float "norm 1" 1.
+    (Array.fold_left
+       (fun acc amp -> acc +. Dd_complex.Cnum.mag2 amp)
+       0. state)
+
+let test_adjoint_preserves_repeat_structure () =
+  let circuit =
+    Circuit.create ~qubits:2
+      [ Circuit.repeat 4 [ Circuit.gate (Gate.t_gate 0) ] ]
+  in
+  let inv = Circuit.adjoint circuit in
+  check_int "same gate count" (Circuit.gate_count circuit)
+    (Circuit.gate_count inv)
+
+let test_counts_by_name () =
+  let circuit =
+    Circuit.of_gates ~qubits:2 [ Gate.h 0; Gate.h 1; Gate.cx 0 1 ]
+  in
+  let counts = Circuit.counts_by_name circuit in
+  check_int "two H" 2 (List.assoc "h" counts);
+  check_int "one cx" 1 (List.assoc "cx" counts)
+
+let test_gate_names () =
+  Alcotest.(check string) "plain" "h" (Gate.name (Gate.h 0));
+  Alcotest.(check string) "controlled" "cx" (Gate.name (Gate.cx 0 1));
+  Alcotest.(check string) "double control" "ccx" (Gate.name (Gate.ccx 0 1 2));
+  Alcotest.(check string) "negative control" "nx"
+    (Gate.name (Gate.make ~controls:[ Gate.nctrl 1 ] Gate.X 0))
+
+let test_gate_adjoint_pairs () =
+  let pairs =
+    [
+      (Gate.S, Gate.Sdg); (Gate.T, Gate.Tdg); (Gate.Sx, Gate.Sxdg);
+      (Gate.Sy, Gate.Sydg);
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      check_bool "adjoint pairs" true
+        (Gate.adjoint (Gate.make a 0) = Gate.make b 0))
+    pairs;
+  check_bool "self adjoint" true (Gate.adjoint (Gate.h 3) = Gate.h 3)
+
+let suite =
+  [
+    Alcotest.test_case "create_validates_range" `Quick
+      test_create_validates_range;
+    Alcotest.test_case "create_validates_duplicates" `Quick
+      test_create_validates_duplicates;
+    Alcotest.test_case "create_validates_nested" `Quick
+      test_create_validates_nested_repeat;
+    Alcotest.test_case "flatten_unrolls" `Quick test_flatten_unrolls;
+    Alcotest.test_case "flatten_nested" `Quick test_flatten_nested_repeats;
+    Alcotest.test_case "repeat_zero" `Quick test_repeat_zero;
+    Alcotest.test_case "depth_parallel" `Quick test_depth_parallel_gates;
+    Alcotest.test_case "depth_serial" `Quick test_depth_serial_dependency;
+    Alcotest.test_case "append" `Quick test_append;
+    Alcotest.test_case "append_mismatch" `Quick test_append_mismatch;
+    Alcotest.test_case "adjoint_undoes" `Quick test_adjoint_undoes;
+    Alcotest.test_case "adjoint_repeat" `Quick
+      test_adjoint_preserves_repeat_structure;
+    Alcotest.test_case "counts_by_name" `Quick test_counts_by_name;
+    Alcotest.test_case "gate_names" `Quick test_gate_names;
+    Alcotest.test_case "gate_adjoint_pairs" `Quick test_gate_adjoint_pairs;
+  ]

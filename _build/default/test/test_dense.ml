@@ -1,0 +1,88 @@
+open Dd_complex
+open Util
+
+let test_initial_state () =
+  let state = Dense_state.create 3 in
+  check_cnum "starts in |000>" Cnum.one (Dense_state.amplitude state 0);
+  check_float "norm" 1. (Dense_state.norm2 state)
+
+let test_bell () =
+  let state = Dense_state.create 2 in
+  Dense_state.run state (Standard.bell ());
+  let amp = Cnum.of_float (1. /. sqrt 2.) in
+  check_cnum "amp |00>" amp (Dense_state.amplitude state 0);
+  check_cnum "amp |11>" amp (Dense_state.amplitude state 3);
+  check_cnum "amp |01>" Cnum.zero (Dense_state.amplitude state 1)
+
+let test_ghz () =
+  let state = Dense_state.create 5 in
+  Dense_state.run state (Standard.ghz 5);
+  let amp = Cnum.of_float (1. /. sqrt 2.) in
+  check_cnum "amp |00000>" amp (Dense_state.amplitude state 0);
+  check_cnum "amp |11111>" amp (Dense_state.amplitude state 31)
+
+let test_negative_control () =
+  let state = Dense_state.create 2 in
+  (* q1 = 0, so a negatively controlled X on q0 must fire *)
+  Dense_state.apply_gate state (Gate.make ~controls:[ Gate.nctrl 1 ] Gate.X 0);
+  check_cnum "fired" Cnum.one (Dense_state.amplitude state 1)
+
+let test_norm_preserved () =
+  let state = Dense_state.create 4 in
+  Dense_state.run state (Standard.random_circuit ~seed:3 ~qubits:4 ~gates:60 ());
+  check_float "unitary evolution preserves norm" 1. (Dense_state.norm2 state)
+
+let test_probability_and_measure () =
+  let rng = Random.State.make [| 11 |] in
+  let state = Dense_state.create 2 in
+  Dense_state.apply_gate state (Gate.h 0);
+  check_float "p1 of |+>" 0.5 (Dense_state.probability_one state ~qubit:0);
+  let outcome = Dense_state.measure_qubit rng state ~qubit:0 in
+  let expected = if outcome then 1 else 0 in
+  check_cnum "collapsed" Cnum.one (Dense_state.amplitude state expected);
+  check_float "renormalised" 1. (Dense_state.norm2 state)
+
+let test_sample_basis_state () =
+  let rng = Random.State.make [| 1 |] in
+  let state = Dense_state.create 3 in
+  Dense_state.apply_gate state (Gate.x 1);
+  check_int "deterministic sample" 2 (Dense_state.sample rng state)
+
+let test_fidelity () =
+  let a = Dense_state.create 2 and b = Dense_state.create 2 in
+  check_float "identical states" 1. (Dense_state.fidelity a b);
+  Dense_state.apply_gate b (Gate.x 0);
+  check_float "orthogonal states" 0. (Dense_state.fidelity a b)
+
+let test_of_amplitudes () =
+  let amps = [| Cnum.of_float 0.6; Cnum.zero; Cnum.zero; Cnum.of_float 0.8 |] in
+  let state = Dense_state.of_amplitudes amps in
+  check_int "two qubits inferred" 2 (Dense_state.qubits state);
+  check_float "p1 qubit 1" 0.64 (Dense_state.probability_one state ~qubit:1)
+
+let test_matches_dd_on_random () =
+  List.iter
+    (fun seed ->
+      let circuit = Standard.random_circuit ~seed ~qubits:5 ~gates:40 () in
+      let dense = dense_state_of_circuit circuit in
+      let dd = dd_state_of_circuit circuit in
+      check_cnum_array
+        (Printf.sprintf "dense vs dd, seed %d" seed)
+        dense dd)
+    [ 1; 2; 3; 4 ]
+
+let suite =
+  [
+    Alcotest.test_case "initial_state" `Quick test_initial_state;
+    Alcotest.test_case "bell" `Quick test_bell;
+    Alcotest.test_case "ghz" `Quick test_ghz;
+    Alcotest.test_case "negative_control" `Quick test_negative_control;
+    Alcotest.test_case "norm_preserved" `Quick test_norm_preserved;
+    Alcotest.test_case "probability_and_measure" `Quick
+      test_probability_and_measure;
+    Alcotest.test_case "sample_basis_state" `Quick test_sample_basis_state;
+    Alcotest.test_case "fidelity" `Quick test_fidelity;
+    Alcotest.test_case "of_amplitudes" `Quick test_of_amplitudes;
+    Alcotest.test_case "matches_dd_on_random" `Quick
+      test_matches_dd_on_random;
+  ]

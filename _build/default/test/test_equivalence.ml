@@ -1,0 +1,106 @@
+open Util
+
+let check_result msg expected actual =
+  let to_text = function
+    | Dd_sim.Equivalence.Equivalent -> "equivalent"
+    | Dd_sim.Equivalence.Equivalent_up_to_phase _ -> "up-to-phase"
+    | Dd_sim.Equivalence.Not_equivalent -> "not-equivalent"
+  in
+  Alcotest.(check string) msg (to_text expected) (to_text actual)
+
+let test_identical_circuits () =
+  let circuit = Standard.random_circuit ~seed:4 ~qubits:4 ~gates:25 () in
+  check_result "a circuit equals itself" Dd_sim.Equivalence.Equivalent
+    (Dd_sim.Equivalence.check circuit circuit)
+
+let test_padded_with_inverse_pairs () =
+  let base = Standard.ghz 3 in
+  let padded =
+    Circuit.of_gates ~qubits:3
+      (Circuit.flatten base @ [ Gate.cx 1 2; Gate.cx 1 2; Gate.h 0; Gate.h 0 ])
+  in
+  check_bool "identity padding is equivalent" true
+    (Dd_sim.Equivalence.equivalent base padded)
+
+let test_different_decompositions () =
+  (* swap as 3 cx vs explicit permutation of two x gates on a basis state
+     differ; instead compare: cz 0 1 == h 1; cx 0 1; h 1 *)
+  let a = Circuit.of_gates ~qubits:2 [ Gate.cz 0 1 ] in
+  let b = Circuit.of_gates ~qubits:2 [ Gate.h 1; Gate.cx 0 1; Gate.h 1 ] in
+  check_result "cz = h cx h" Dd_sim.Equivalence.Equivalent
+    (Dd_sim.Equivalence.check a b)
+
+let test_global_phase_detected () =
+  (* x z x z = -I: equivalent to the empty-ish circuit up to phase -1 *)
+  let a =
+    Circuit.of_gates ~qubits:1 [ Gate.x 0; Gate.z 0; Gate.x 0; Gate.z 0 ]
+  in
+  let b = Circuit.of_gates ~qubits:1 [ Gate.rz 0. 0 ] in
+  (match Dd_sim.Equivalence.check a b with
+  | Dd_sim.Equivalence.Equivalent_up_to_phase phase ->
+    check_cnum "phase is -1" (Dd_complex.Cnum.of_float (-1.)) phase
+  | Dd_sim.Equivalence.Equivalent | Dd_sim.Equivalence.Not_equivalent ->
+    Alcotest.fail "expected phase equivalence");
+  check_bool "up_to_phase=false rejects it" false
+    (Dd_sim.Equivalence.equivalent ~up_to_phase:false a b);
+  check_bool "up_to_phase=true accepts it" true
+    (Dd_sim.Equivalence.equivalent a b)
+
+let test_not_equivalent () =
+  let a = Standard.ghz 3 in
+  let b =
+    Circuit.of_gates ~qubits:3 (Circuit.flatten (Standard.ghz 3) @ [ Gate.x 1 ])
+  in
+  check_result "an extra x is detected" Dd_sim.Equivalence.Not_equivalent
+    (Dd_sim.Equivalence.check a b)
+
+let test_subtle_difference () =
+  (* identical except one rotation angle differs by 1e-3 *)
+  let build theta =
+    Circuit.of_gates ~qubits:2 [ Gate.h 0; Gate.rz theta 1; Gate.cx 0 1 ]
+  in
+  check_result "small angle difference detected"
+    Dd_sim.Equivalence.Not_equivalent
+    (Dd_sim.Equivalence.check (build 0.5) (build 0.501))
+
+let test_width_mismatch () =
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Equivalence.check: circuit widths differ") (fun () ->
+      ignore (Dd_sim.Equivalence.check (Standard.ghz 2) (Standard.ghz 3)))
+
+let test_optimizer_verified_by_equivalence () =
+  (* the two features validate each other: every optimised circuit must be
+     equivalent to its original *)
+  List.iter
+    (fun seed ->
+      let circuit = Standard.random_circuit ~seed ~qubits:4 ~gates:50 () in
+      let optimized = Optimize.optimize circuit in
+      check_bool
+        (Printf.sprintf "optimizer output equivalent (seed %d)" seed)
+        true
+        (Dd_sim.Equivalence.equivalent circuit optimized))
+    [ 11; 22; 33; 44 ]
+
+let test_qft_iqft_is_identity () =
+  let n = 4 in
+  let round_trip = Circuit.append (Qft.circuit n) (Qft.inverse_circuit n) in
+  let nothing = Circuit.of_gates ~qubits:n [ Gate.rz 0. 0 ] in
+  check_bool "qft then iqft is the identity" true
+    (Dd_sim.Equivalence.equivalent round_trip nothing)
+
+let suite =
+  [
+    Alcotest.test_case "identical" `Quick test_identical_circuits;
+    Alcotest.test_case "inverse_padding" `Quick
+      test_padded_with_inverse_pairs;
+    Alcotest.test_case "different_decompositions" `Quick
+      test_different_decompositions;
+    Alcotest.test_case "global_phase" `Quick test_global_phase_detected;
+    Alcotest.test_case "not_equivalent" `Quick test_not_equivalent;
+    Alcotest.test_case "subtle_difference" `Quick test_subtle_difference;
+    Alcotest.test_case "width_mismatch" `Quick test_width_mismatch;
+    Alcotest.test_case "optimizer_cross_check" `Quick
+      test_optimizer_verified_by_equivalence;
+    Alcotest.test_case "qft_roundtrip_identity" `Quick
+      test_qft_iqft_is_identity;
+  ]

@@ -1,0 +1,98 @@
+open Util
+
+let test_collect_frees_dead_nodes () =
+  let ctx = fresh_ctx () in
+  (* build several throwaway states, keep only one *)
+  let keep = Dd.Vdd.basis ctx ~n:6 21 in
+  for i = 0 to 30 do
+    ignore (Dd.Vdd.basis ctx ~n:6 i)
+  done;
+  let live_before = Dd.Context.live_v_nodes ctx in
+  let removed_v, _removed_m =
+    Dd.Context.collect ctx ~v_roots:[ keep ] ~m_roots:[]
+  in
+  check_bool "something was reclaimed" true (removed_v > 0);
+  check_int "live = before - removed" (live_before - removed_v)
+    (Dd.Context.live_v_nodes ctx);
+  check_int "rooted state intact" 6 (Dd.Vdd.node_count keep)
+
+let test_collect_keeps_rooted_matrix () =
+  let ctx = fresh_ctx () in
+  let keep = Dd.Mdd.gate ctx ~n:5 ~target:2 (Gate.matrix Gate.H) in
+  ignore (Dd.Mdd.gate ctx ~n:5 ~target:0 (Gate.matrix Gate.X));
+  ignore (Dd.Mdd.identity ctx 5);
+  let _, removed_m = Dd.Context.collect ctx ~v_roots:[] ~m_roots:[ keep ] in
+  check_bool "dead matrices reclaimed" true (removed_m > 0);
+  (* the kept matrix still works *)
+  let v = Dd.Vdd.basis ctx ~n:5 0 in
+  let w = Dd.Mdd.apply ctx keep v in
+  check_float "H still acts correctly" 0.5
+    (Dd_complex.Cnum.mag2 (Dd.Vdd.amplitude w ~n:5 4))
+
+let test_operations_after_collect () =
+  (* hash-consing must still be canonical after sweeping *)
+  let ctx = fresh_ctx () in
+  let a = Dd.Vdd.basis ctx ~n:4 3 in
+  ignore (Dd.Vdd.basis ctx ~n:4 9);
+  ignore (Dd.Context.collect ctx ~v_roots:[ a ] ~m_roots:[]);
+  let b = Dd.Vdd.basis ctx ~n:4 3 in
+  check_bool "rebuilding a live state reuses it canonically" true
+    (Dd.Vdd.equal a b);
+  let again = Dd.Vdd.basis ctx ~n:4 9 in
+  check_cnum "rebuilt dead state is correct" Dd_complex.Cnum.one
+    (Dd.Vdd.amplitude again ~n:4 9)
+
+let test_engine_collect () =
+  let engine = Dd_sim.Engine.create 8 in
+  Dd_sim.Engine.run engine
+    (Standard.random_circuit ~seed:5 ~qubits:8 ~gates:150 ());
+  let ctx = Dd_sim.Engine.context engine in
+  let live_before = Dd.Context.live_v_nodes ctx in
+  let reference = Dd.Vdd.to_array (Dd_sim.Engine.state engine) ~n:8 in
+  let removed_v, _ = Dd_sim.Engine.collect_garbage engine in
+  check_bool "intermediate states reclaimed" true (removed_v > 0);
+  check_bool "live nodes dropped" true
+    (Dd.Context.live_v_nodes ctx < live_before);
+  (* state unchanged and engine fully functional afterwards *)
+  check_cnum_array "state intact after GC" reference
+    (Dd.Vdd.to_array (Dd_sim.Engine.state engine) ~n:8);
+  Dd_sim.Engine.apply_gate engine (Gate.h 0);
+  check_float "still unitary after GC" 1.
+    (Dd.Measure.norm2 ctx (Dd_sim.Engine.state engine))
+
+let test_gc_mid_simulation_equivalence () =
+  (* interleaving GC with simulation must not change the result *)
+  let circuit = Standard.random_circuit ~seed:77 ~qubits:6 ~gates:60 () in
+  let gates = Circuit.flatten circuit in
+  let plain = Dd_sim.Engine.create 6 in
+  List.iter (Dd_sim.Engine.apply_gate plain) gates;
+  let collected = Dd_sim.Engine.create 6 in
+  List.iteri
+    (fun i gate ->
+      Dd_sim.Engine.apply_gate collected gate;
+      if i mod 10 = 9 then ignore (Dd_sim.Engine.collect_garbage collected))
+    gates;
+  check_cnum_array "same state with and without GC"
+    (Dd.Vdd.to_array (Dd_sim.Engine.state plain) ~n:6)
+    (Dd.Vdd.to_array (Dd_sim.Engine.state collected) ~n:6)
+
+let test_collect_empty_roots () =
+  let ctx = fresh_ctx () in
+  ignore (Dd.Vdd.basis ctx ~n:3 1);
+  ignore (Dd.Context.collect ctx ~v_roots:[] ~m_roots:[]);
+  check_int "everything reclaimed with no roots" 0
+    (Dd.Context.live_v_nodes ctx)
+
+let suite =
+  [
+    Alcotest.test_case "collect_frees_dead" `Quick
+      test_collect_frees_dead_nodes;
+    Alcotest.test_case "collect_keeps_matrix" `Quick
+      test_collect_keeps_rooted_matrix;
+    Alcotest.test_case "operations_after_collect" `Quick
+      test_operations_after_collect;
+    Alcotest.test_case "engine_collect" `Quick test_engine_collect;
+    Alcotest.test_case "gc_mid_simulation" `Quick
+      test_gc_mid_simulation_equivalence;
+    Alcotest.test_case "collect_empty_roots" `Quick test_collect_empty_roots;
+  ]

@@ -1,0 +1,181 @@
+open Util
+
+let test_iterations () =
+  check_int "n=2 needs one iteration" 1 (Grover.iterations 2);
+  check_int "n=4" 3 (Grover.iterations 4);
+  check_int "n=10" 25 (Grover.iterations 10)
+
+let test_oracle_flips_only_marked () =
+  let n = 3 in
+  List.iter
+    (fun marked ->
+      let circuit = Circuit.of_gates ~qubits:n (Grover.oracle_gates ~n ~marked) in
+      let matrix = dense_circuit_matrix circuit in
+      for i = 0 to (1 lsl n) - 1 do
+        let expected =
+          if i = marked then Dd_complex.Cnum.of_float (-1.) else Dd_complex.Cnum.one
+        in
+        check_cnum
+          (Printf.sprintf "marked=%d diag %d" marked i)
+          expected
+          matrix.(i).(i)
+      done)
+    [ 0; 3; 5; 7 ]
+
+let test_oracle_diagonal () =
+  let n = 3 in
+  let circuit = Circuit.of_gates ~qubits:n (Grover.oracle_gates ~n ~marked:4) in
+  let matrix = dense_circuit_matrix circuit in
+  for r = 0 to 7 do
+    for c = 0 to 7 do
+      if r <> c then
+        check_cnum
+          (Printf.sprintf "off-diagonal %d %d" r c)
+          Dd_complex.Cnum.zero
+          matrix.(r).(c)
+    done
+  done
+
+let test_search_finds_marked () =
+  List.iter
+    (fun (n, marked) ->
+      let engine = Dd_sim.Engine.create n in
+      Dd_sim.Engine.run engine (Grover.circuit ~n ~marked ());
+      let p = Grover.success_probability engine ~marked in
+      check_bool
+        (Printf.sprintf "n=%d marked=%d: success prob %.3f high" n marked p)
+        true (p > 0.8))
+    [ (3, 6); (5, 17); (8, 200); (10, 777) ]
+
+let test_single_qubit_search () =
+  (* with one qubit the rotation angle is pi/4, so success probability is
+     exactly 1/2 no matter how many iterations run *)
+  let engine = Dd_sim.Engine.create 1 in
+  Dd_sim.Engine.run engine (Grover.circuit ~n:1 ~marked:1 ());
+  check_float "n=1 caps at one half" 0.5
+    (Grover.success_probability engine ~marked:1)
+
+let test_repeat_structure_present () =
+  let circuit = Grover.circuit ~n:6 ~marked:11 () in
+  let has_repeat =
+    List.exists
+      (function
+        | Circuit.Repeat { count; body = _ } -> count = Grover.iterations 6
+        | Circuit.Gate _ -> false)
+      Circuit.(circuit.ops)
+  in
+  check_bool "grover emits a Repeat block" true has_repeat
+
+let test_explicit_iteration_count () =
+  let circuit = Grover.circuit ~iterations:2 ~n:4 ~marked:9 () in
+  (* 4 H + 2 * (oracle + diffusion) *)
+  let per_iteration =
+    List.length (Grover.oracle_gates ~n:4 ~marked:9)
+    + List.length (Grover.diffusion_gates ~n:4)
+  in
+  check_int "gate count" (4 + (2 * per_iteration))
+    (Circuit.gate_count circuit)
+
+let test_state_stays_compact () =
+  (* the Grover state lives in a 2-dimensional subspace: its DD stays tiny,
+     which is why even 29-qubit instances are easy for DDs *)
+  let n = 12 in
+  let engine = Dd_sim.Engine.create n in
+  Dd_sim.Engine.run engine (Grover.circuit ~n ~marked:1234 ());
+  check_bool "state DD linear in n" true
+    (Dd_sim.Engine.state_node_count engine <= 2 * n)
+
+let test_matches_dense () =
+  let n = 5 and marked = 19 in
+  let circuit = Grover.circuit ~n ~marked () in
+  check_cnum_array "grover vs dense simulator"
+    (dense_state_of_circuit circuit)
+    (dd_state_of_circuit circuit)
+
+let suite =
+  [
+    Alcotest.test_case "iterations" `Quick test_iterations;
+    Alcotest.test_case "oracle_flips_marked" `Quick
+      test_oracle_flips_only_marked;
+    Alcotest.test_case "oracle_diagonal" `Quick test_oracle_diagonal;
+    Alcotest.test_case "search_finds_marked" `Quick test_search_finds_marked;
+    Alcotest.test_case "single_qubit_search" `Quick test_single_qubit_search;
+    Alcotest.test_case "repeat_structure" `Quick
+      test_repeat_structure_present;
+    Alcotest.test_case "explicit_iterations" `Quick
+      test_explicit_iteration_count;
+    Alcotest.test_case "state_compact" `Quick test_state_stays_compact;
+    Alcotest.test_case "matches_dense" `Quick test_matches_dense;
+  ]
+
+(* DD-construct extension tests appended below; the suite is re-exported. *)
+
+let test_oracle_dd_matches_gates () =
+  let ctx = fresh_ctx () in
+  let n = 4 and marked = 11 in
+  let direct = Grover.oracle_dd ctx ~n ~marked in
+  let engine = Dd_sim.Engine.create ~context:ctx n in
+  let via_gates =
+    Dd_sim.Engine.combine engine (Grover.oracle_gates ~n ~marked)
+  in
+  check_bool "directly constructed oracle equals the gate product" true
+    (Dd.Mdd.equal direct via_gates)
+
+let test_oracle_dd_compact () =
+  let ctx = fresh_ctx () in
+  let dd = Grover.oracle_dd ctx ~n:12 ~marked:1717 in
+  check_bool "oracle DD is linear in n" true (Dd.Mdd.node_count dd <= 24)
+
+let test_run_construct_agrees () =
+  let n = 8 and marked = 99 in
+  let via_gates = Dd_sim.Engine.create n in
+  Dd_sim.Engine.run via_gates (Grover.circuit ~n ~marked ());
+  let via_construct = Grover.run_construct ~n ~marked () in
+  check_float "construct backend reaches the same success probability"
+    (Grover.success_probability via_gates ~marked)
+    (Grover.success_probability via_construct ~marked)
+
+let test_run_construct_efficiency () =
+  let n = 8 and marked = 42 in
+  let engine = Grover.run_construct ~n ~marked () in
+  let stats = Dd_sim.Engine.stats engine in
+  (* H layer + one application per iteration *)
+  check_int "one mat-vec per iteration plus the H layer"
+    (n + Grover.iterations n)
+    stats.Dd_sim.Sim_stats.mat_vec_mults
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "oracle_dd_matches_gates" `Quick
+        test_oracle_dd_matches_gates;
+      Alcotest.test_case "oracle_dd_compact" `Quick test_oracle_dd_compact;
+      Alcotest.test_case "run_construct_agrees" `Quick
+        test_run_construct_agrees;
+      Alcotest.test_case "run_construct_efficiency" `Quick
+        test_run_construct_efficiency;
+    ]
+
+let test_state_stable_across_iterations () =
+  (* regression: with a merge tolerance that is too coarse (1e-10),
+     legitimately distinct amplitudes at the 2^(-n/2) scale get wrongly
+     merged around n = 20, fragmenting the DD exponentially; the state
+     must stay at exactly 2n - 1 nodes for every iteration *)
+  let n = 20 in
+  let engine = Dd_sim.Engine.create n in
+  List.iter (Dd_sim.Engine.apply_gate engine) (List.init n Gate.h);
+  let body = Grover.oracle_gates ~n ~marked:5 @ Grover.diffusion_gates ~n in
+  for iteration = 1 to 8 do
+    List.iter (Dd_sim.Engine.apply_gate engine) body;
+    check_int
+      (Printf.sprintf "iteration %d keeps 2n-1 nodes" iteration)
+      ((2 * n) - 1)
+      (Dd_sim.Engine.state_node_count engine)
+  done
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "state_stable_regression" `Quick
+        test_state_stable_across_iterations;
+    ]

@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "ddsim"
+    [
+      ("cnum", Test_cnum.suite);
+      ("vdd", Test_vdd.suite);
+      ("mdd", Test_mdd.suite);
+      ("measure", Test_measure.suite);
+      ("circuit", Test_circuit.suite);
+      ("qasm", Test_qasm.suite);
+      ("benchmark_files", Test_benchmark_files.suite);
+      ("dense", Test_dense.suite);
+      ("sparse", Test_sparse.suite);
+      ("engine", Test_engine.suite);
+      ("strategies", Test_strategies.suite);
+      ("qft", Test_qft.suite);
+      ("ntheory", Test_ntheory.suite);
+      ("grover", Test_grover.suite);
+      ("supremacy", Test_supremacy.suite);
+      ("shor", Test_shor.suite);
+      ("algorithms2", Test_algorithms2.suite);
+      ("algorithms3", Test_algorithms3.suite);
+      ("stateprep", Test_stateprep.suite);
+      ("dot", Test_dot.suite);
+      ("optimize", Test_optimize.suite);
+      ("equivalence", Test_equivalence.suite);
+      ("repeats", Test_repeats.suite);
+      ("observable", Test_observable.suite);
+      ("gc", Test_gc.suite);
+      ("internals", Test_internals.suite);
+      ("plot", Test_plot.suite);
+      ("serialize", Test_serialize.suite);
+      ("approx", Test_approx.suite);
+      ("xeb", Test_xeb.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,98 @@
+open Util
+
+let test_gcd () =
+  check_int "gcd(12,18)" 6 (Ntheory.gcd 12 18);
+  check_int "gcd(17,5)" 1 (Ntheory.gcd 17 5);
+  check_int "gcd(0,7)" 7 (Ntheory.gcd 0 7)
+
+let test_egcd () =
+  let g, x, y = Ntheory.egcd 240 46 in
+  check_int "gcd" 2 g;
+  check_int "bezout identity" 2 ((240 * x) + (46 * y))
+
+let test_mod_inv () =
+  check_int "7^-1 mod 15" 13 (Ntheory.mod_inv 7 15);
+  check_int "inverse works" 1 (7 * 13 mod 15);
+  Alcotest.check_raises "non-coprime"
+    (Invalid_argument "Ntheory.mod_inv: not coprime") (fun () ->
+      ignore (Ntheory.mod_inv 6 15))
+
+let test_mod_pow () =
+  check_int "2^10 mod 1000" 24 (Ntheory.mod_pow 2 10 1000);
+  check_int "a^0" 1 (Ntheory.mod_pow 5 0 21);
+  check_int "fermat" 1 (Ntheory.mod_pow 3 16 17);
+  check_int "big exponent" (Ntheory.mod_pow 7 100 11623)
+    (let rec loop acc k = if k = 0 then acc else loop (acc * 7 mod 11623) (k - 1) in
+     loop 1 100)
+
+let test_is_prime () =
+  check_bool "2" true (Ntheory.is_prime 2);
+  check_bool "17" true (Ntheory.is_prime 17);
+  check_bool "15" false (Ntheory.is_prime 15);
+  check_bool "1" false (Ntheory.is_prime 1);
+  check_bool "7919" true (Ntheory.is_prime 7919);
+  check_bool "11623 = 59*197" false (Ntheory.is_prime 11623)
+
+let test_bit_length () =
+  check_int "1" 1 (Ntheory.bit_length 1);
+  check_int "15" 4 (Ntheory.bit_length 15);
+  check_int "16" 5 (Ntheory.bit_length 16);
+  check_int "11623" 14 (Ntheory.bit_length 11623)
+
+let test_multiplicative_order () =
+  check_int "ord_15(7)" 4 (Ntheory.multiplicative_order 7 15);
+  check_int "ord_15(2)" 4 (Ntheory.multiplicative_order 2 15);
+  check_int "ord_15(4)" 2 (Ntheory.multiplicative_order 4 15);
+  check_int "ord_n(1)" 1 (Ntheory.multiplicative_order 1 21);
+  check_int "ord_21(2)" 6 (Ntheory.multiplicative_order 2 21)
+
+let test_convergents () =
+  (* 649/200 = [3;4,12,4]; convergents 3/1, 13/4, 159/49, 649/200 *)
+  let cs = Ntheory.convergents 649 200 in
+  check_bool "contains 13/4" true (List.mem (13, 4) cs);
+  check_bool "contains 159/49" true (List.mem (159, 49) cs);
+  check_bool "ends with the fraction itself" true (List.mem (649, 200) cs)
+
+let test_order_from_phase_exact () =
+  (* phase y/2^bits = 3/4 -> denominator 4 = order of 7 mod 15 *)
+  let y = 3 * (1 lsl 6) in
+  check_bool "recovers order 4" true
+    (Ntheory.order_from_phase ~a:7 ~modulus:15 ~y ~bits:8 = Some 4)
+
+let test_order_from_phase_near () =
+  (* y near (1/6) * 2^10: order of 2 mod 21 is 6 *)
+  let y = 171 in
+  check_bool "recovers order 6 from rounded phase" true
+    (Ntheory.order_from_phase ~a:2 ~modulus:21 ~y ~bits:10 = Some 6)
+
+let test_order_from_phase_zero () =
+  check_bool "y = 0 is uninformative" true
+    (Ntheory.order_from_phase ~a:7 ~modulus:15 ~y:0 ~bits:8 = None)
+
+let test_factor_from_order () =
+  check_bool "15 = 3 * 5 from ord(7)=4" true
+    (match Ntheory.factor_from_order ~a:7 ~modulus:15 ~order:4 with
+    | Some (p, q) -> (p = 3 && q = 5) || (p = 5 && q = 3)
+    | None -> false);
+  check_bool "odd order gives nothing" true
+    (Ntheory.factor_from_order ~a:2 ~modulus:7 ~order:3 = None)
+
+let suite =
+  [
+    Alcotest.test_case "gcd" `Quick test_gcd;
+    Alcotest.test_case "egcd" `Quick test_egcd;
+    Alcotest.test_case "mod_inv" `Quick test_mod_inv;
+    Alcotest.test_case "mod_pow" `Quick test_mod_pow;
+    Alcotest.test_case "is_prime" `Quick test_is_prime;
+    Alcotest.test_case "bit_length" `Quick test_bit_length;
+    Alcotest.test_case "multiplicative_order" `Quick
+      test_multiplicative_order;
+    Alcotest.test_case "convergents" `Quick test_convergents;
+    Alcotest.test_case "order_from_phase_exact" `Quick
+      test_order_from_phase_exact;
+    Alcotest.test_case "order_from_phase_near" `Quick
+      test_order_from_phase_near;
+    Alcotest.test_case "order_from_phase_zero" `Quick
+      test_order_from_phase_zero;
+    Alcotest.test_case "factor_from_order" `Quick test_factor_from_order;
+  ]

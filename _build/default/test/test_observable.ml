@@ -1,0 +1,94 @@
+open Util
+
+let test_of_string () =
+  let obs = Dd_sim.Observable.of_string "ZXI" in
+  check_bool "qubit 0 is I (absent)" true
+    (not (List.mem_assoc 0 obs));
+  check_bool "qubit 1 is X" true
+    (List.assoc 1 obs = Dd_sim.Observable.X);
+  check_bool "qubit 2 is Z" true
+    (List.assoc 2 obs = Dd_sim.Observable.Z)
+
+let test_of_string_rejects () =
+  Alcotest.check_raises "bad letter"
+    (Invalid_argument "Observable.of_string: bad character 'Q'") (fun () ->
+      ignore (Dd_sim.Observable.of_string "XQZ"))
+
+let test_to_string_roundtrip () =
+  Alcotest.(check string)
+    "roundtrip" "ZXIY"
+    (Dd_sim.Observable.to_string ~n:4
+       (Dd_sim.Observable.of_string "ZXIY"))
+
+let test_z_on_basis_states () =
+  let engine = Dd_sim.Engine.create 2 in
+  check_float "<00|Z0|00> = 1" 1.
+    (Dd_sim.Observable.expectation engine [ (0, Dd_sim.Observable.Z) ]);
+  Dd_sim.Engine.apply_gate engine (Gate.x 0);
+  check_float "<01|Z0|01> = -1" (-1.)
+    (Dd_sim.Observable.expectation engine [ (0, Dd_sim.Observable.Z) ]);
+  check_float "<01|Z1|01> = 1" 1.
+    (Dd_sim.Observable.expectation engine [ (1, Dd_sim.Observable.Z) ])
+
+let test_x_on_plus_state () =
+  let engine = Dd_sim.Engine.create 1 in
+  Dd_sim.Engine.apply_gate engine (Gate.h 0);
+  check_float "<+|X|+> = 1" 1.
+    (Dd_sim.Observable.expectation engine [ (0, Dd_sim.Observable.X) ]);
+  check_float "<+|Z|+> = 0" 0.
+    (Dd_sim.Observable.expectation engine [ (0, Dd_sim.Observable.Z) ])
+
+let test_bell_correlations () =
+  let engine = Dd_sim.Engine.create 2 in
+  Dd_sim.Engine.run engine (Standard.bell ());
+  let expectation s =
+    Dd_sim.Observable.expectation engine (Dd_sim.Observable.of_string s)
+  in
+  check_float "<ZZ> = 1" 1. (expectation "ZZ");
+  check_float "<XX> = 1" 1. (expectation "XX");
+  check_float "<YY> = -1" (-1.) (expectation "YY");
+  check_float "<ZI> = 0" 0. (expectation "ZI")
+
+let test_matches_dense () =
+  let circuit = Standard.random_circuit ~seed:21 ~qubits:4 ~gates:30 () in
+  let engine = Dd_sim.Engine.create 4 in
+  Dd_sim.Engine.run engine circuit;
+  let dense = dense_state_of_circuit circuit in
+  (* dense <psi| Z2 X0 |psi> *)
+  let dim = Array.length dense in
+  let expectation_dense = ref 0. in
+  for i = 0 to dim - 1 do
+    let j = i lxor 1 in
+    (* X on qubit 0 *)
+    let sign = if (i lsr 2) land 1 = 1 then -1. else 1. in
+    let term =
+      Dd_complex.Cnum.mul
+        (Dd_complex.Cnum.conj dense.(i))
+        (Dd_complex.Cnum.scale sign dense.(j))
+    in
+    expectation_dense := !expectation_dense +. Dd_complex.Cnum.re term
+  done;
+  check_float "Z2 X0 matches dense" !expectation_dense
+    (Dd_sim.Observable.expectation engine
+       [ (2, Dd_sim.Observable.Z); (0, Dd_sim.Observable.X) ])
+
+let test_duplicate_qubit_rejected () =
+  let engine = Dd_sim.Engine.create 2 in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Observable.expectation: duplicate qubit") (fun () ->
+      ignore
+        (Dd_sim.Observable.expectation engine
+           [ (0, Dd_sim.Observable.Z); (0, Dd_sim.Observable.X) ]))
+
+let suite =
+  [
+    Alcotest.test_case "of_string" `Quick test_of_string;
+    Alcotest.test_case "of_string_rejects" `Quick test_of_string_rejects;
+    Alcotest.test_case "to_string_roundtrip" `Quick test_to_string_roundtrip;
+    Alcotest.test_case "z_on_basis" `Quick test_z_on_basis_states;
+    Alcotest.test_case "x_on_plus" `Quick test_x_on_plus_state;
+    Alcotest.test_case "bell_correlations" `Quick test_bell_correlations;
+    Alcotest.test_case "matches_dense" `Quick test_matches_dense;
+    Alcotest.test_case "duplicate_rejected" `Quick
+      test_duplicate_qubit_rejected;
+  ]

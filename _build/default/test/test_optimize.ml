@@ -1,0 +1,157 @@
+open Util
+
+let semantically_equal msg a b =
+  check_cnum_array msg (dense_state_of_circuit a) (dense_state_of_circuit b)
+
+let test_cancel_adjacent_pair () =
+  let circuit = Circuit.of_gates ~qubits:2 [ Gate.h 0; Gate.h 0; Gate.x 1 ] in
+  let optimized = Optimize.cancel_inverses circuit in
+  check_int "h h cancels" 1 (Circuit.gate_count optimized);
+  semantically_equal "semantics" circuit optimized
+
+let test_cancel_s_sdg () =
+  let circuit = Circuit.of_gates ~qubits:1 [ Gate.s 0; Gate.sdg 0 ] in
+  check_int "s sdg cancels" 0
+    (Circuit.gate_count (Optimize.cancel_inverses circuit))
+
+let test_cancel_rotations () =
+  let circuit = Circuit.of_gates ~qubits:1 [ Gate.rz 0.7 0; Gate.rz (-0.7) 0 ] in
+  check_int "rz(t) rz(-t) cancels" 0
+    (Circuit.gate_count (Optimize.cancel_inverses circuit))
+
+let test_cancel_cx_pair () =
+  let circuit = Circuit.of_gates ~qubits:2 [ Gate.cx 0 1; Gate.cx 0 1 ] in
+  check_int "cx cx cancels" 0
+    (Circuit.gate_count (Optimize.cancel_inverses circuit))
+
+let test_cancel_slides_over_disjoint () =
+  (* the pair is separated by a gate on another qubit *)
+  let circuit =
+    Circuit.of_gates ~qubits:3 [ Gate.h 0; Gate.cx 1 2; Gate.h 0 ]
+  in
+  let optimized = Optimize.cancel_inverses circuit in
+  check_int "pair cancels across a disjoint gate" 1
+    (Circuit.gate_count optimized);
+  semantically_equal "semantics" circuit optimized
+
+let test_cancel_blocked_by_overlap () =
+  let circuit =
+    Circuit.of_gates ~qubits:2 [ Gate.h 0; Gate.cx 0 1; Gate.h 0 ]
+  in
+  check_int "overlapping gate blocks cancellation" 3
+    (Circuit.gate_count (Optimize.cancel_inverses circuit))
+
+let test_fuse_run () =
+  let circuit =
+    Circuit.of_gates ~qubits:2
+      [ Gate.h 0; Gate.t_gate 0; Gate.s 0; Gate.cx 0 1 ]
+  in
+  let optimized = Optimize.fuse_single_qubit circuit in
+  check_int "three gates fuse into one" 2 (Circuit.gate_count optimized);
+  semantically_equal "fusion preserves semantics" circuit optimized
+
+let test_fuse_slides_over_disjoint () =
+  let circuit =
+    Circuit.of_gates ~qubits:2
+      [ Gate.h 0; Gate.x 1; Gate.t_gate 0; Gate.z 1 ]
+  in
+  let optimized = Optimize.fuse_single_qubit circuit in
+  (* h0/t0 fuse; x1 and z1 fuse too (second pass over the emitted list) *)
+  check_bool "fewer gates" true (Circuit.gate_count optimized < 4);
+  semantically_equal "fusion across disjoint gates" circuit optimized
+
+let test_fuse_leaves_controlled () =
+  let circuit = Circuit.of_gates ~qubits:2 [ Gate.cx 0 1; Gate.cx 0 1 ] in
+  check_int "controlled gates are not fused" 2
+    (Circuit.gate_count (Optimize.fuse_single_qubit circuit))
+
+let test_drop_identity_rotations () =
+  let circuit =
+    Circuit.of_gates ~qubits:1
+      [ Gate.rz 0. 0; Gate.phase 0. 0; Gate.h 0 ]
+  in
+  check_int "zero rotations dropped" 1
+    (Circuit.gate_count (Optimize.drop_identities circuit))
+
+let test_keep_controlled_phase () =
+  (* a controlled rz(4 pi) is exactly the identity and may go; a controlled
+     rz(2 pi) equals diag(1,1,-1,-1) on the pair and must stay *)
+  let controlled theta =
+    Circuit.of_gates ~qubits:2
+      [ Gate.make ~controls:[ Gate.ctrl 0 ] (Gate.Rz theta) 1 ]
+  in
+  check_int "controlled rz(2pi) kept" 1
+    (Circuit.gate_count
+       (Optimize.drop_identities (controlled (2. *. Float.pi))));
+  check_int "controlled rz(4pi) dropped" 0
+    (Circuit.gate_count
+       (Optimize.drop_identities (controlled (4. *. Float.pi))))
+
+let test_optimize_fixpoint () =
+  (* x z x z reduces: adjacent x..x blocked by z? cancel slides only over
+     disjoint supports; but z z appears after fusing... the driver iterates
+     to a fixpoint, so the whole thing collapses to a fused single gate or
+     nothing *)
+  let circuit =
+    Circuit.of_gates ~qubits:1 [ Gate.x 0; Gate.z 0; Gate.z 0; Gate.x 0 ]
+  in
+  let optimized = Optimize.optimize circuit in
+  check_bool "collapses" true (Circuit.gate_count optimized <= 1);
+  semantically_equal "fixpoint preserves semantics" circuit optimized
+
+let test_optimize_preserves_random () =
+  List.iter
+    (fun seed ->
+      let circuit = Standard.random_circuit ~seed ~qubits:4 ~gates:60 () in
+      let optimized = Optimize.optimize circuit in
+      check_bool
+        (Printf.sprintf "seed %d shrinks or stays" seed)
+        true
+        (Circuit.gate_count optimized <= Circuit.gate_count circuit);
+      semantically_equal
+        (Printf.sprintf "seed %d semantics" seed)
+        circuit optimized)
+    [ 1; 2; 3 ]
+
+let test_optimize_inside_repeat () =
+  let circuit =
+    Circuit.create ~qubits:2
+      [
+        Circuit.repeat 3
+          [
+            Circuit.gate (Gate.h 0); Circuit.gate (Gate.h 0);
+            Circuit.gate (Gate.cx 0 1);
+          ];
+      ]
+  in
+  let optimized = Optimize.optimize circuit in
+  check_int "body optimised in place" 3 (Circuit.gate_count optimized);
+  check_bool "repeat structure preserved" true
+    (match Circuit.(optimized.ops) with
+    | [ Circuit.Repeat { count = 3; body = _ } ] -> true
+    | _ :: _ | [] -> false)
+
+let suite =
+  [
+    Alcotest.test_case "cancel_adjacent_pair" `Quick
+      test_cancel_adjacent_pair;
+    Alcotest.test_case "cancel_s_sdg" `Quick test_cancel_s_sdg;
+    Alcotest.test_case "cancel_rotations" `Quick test_cancel_rotations;
+    Alcotest.test_case "cancel_cx_pair" `Quick test_cancel_cx_pair;
+    Alcotest.test_case "cancel_slides" `Quick
+      test_cancel_slides_over_disjoint;
+    Alcotest.test_case "cancel_blocked" `Quick test_cancel_blocked_by_overlap;
+    Alcotest.test_case "fuse_run" `Quick test_fuse_run;
+    Alcotest.test_case "fuse_slides" `Quick test_fuse_slides_over_disjoint;
+    Alcotest.test_case "fuse_leaves_controlled" `Quick
+      test_fuse_leaves_controlled;
+    Alcotest.test_case "drop_identity_rotations" `Quick
+      test_drop_identity_rotations;
+    Alcotest.test_case "keep_controlled_phase" `Quick
+      test_keep_controlled_phase;
+    Alcotest.test_case "optimize_fixpoint" `Quick test_optimize_fixpoint;
+    Alcotest.test_case "optimize_preserves_random" `Quick
+      test_optimize_preserves_random;
+    Alcotest.test_case "optimize_inside_repeat" `Quick
+      test_optimize_inside_repeat;
+  ]

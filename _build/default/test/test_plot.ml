@@ -1,0 +1,75 @@
+open Util
+
+let sample_output =
+  "ddsim benchmark harness\n\n\
+   === Fig. 8: strategy k-operations (combine k gates per step) ===\n\
+   (speed-up ...)\n\
+   k               grover_12     shor_15_7_11    average\n\
+   seq[s]              0.089            0.083\n\
+   1                    1.00             0.95       0.97\n\
+   2                    1.10             1.05       1.07\n\
+   4                    1.40                -       1.40\n\
+   8                    1.20              nan       1.20\n\
+   [fig8 completed in 1.0 s]\n\n\
+   === Fig. 9: strategy max-size ===\n\
+   s_max           grover_12    average\n\
+   seq[s]              0.089\n\
+   4                    0.90       0.90\n\
+   256                  2.50       2.50\n\
+   [fig9 completed in 1.0 s]\n"
+
+let test_parse_fig8 () =
+  let series = Dd_sim.Sweep_plot.parse_sweep_table ~header:"Fig. 8" sample_output in
+  check_int "three series" 3 (List.length series);
+  let grover = List.find (fun s -> s.Dd_sim.Sweep_plot.series_name = "grover_12") series in
+  check_int "four k points" 4 (List.length grover.Dd_sim.Sweep_plot.points);
+  check_bool "first point is (1, 1.0)" true
+    (List.hd grover.Dd_sim.Sweep_plot.points = (1., 1.));
+  let shor =
+    List.find (fun s -> s.Dd_sim.Sweep_plot.series_name = "shor_15_7_11") series
+  in
+  (* the "-" at k=4 and "nan" at k=8 must be dropped *)
+  check_int "skipped entries dropped" 2
+    (List.length shor.Dd_sim.Sweep_plot.points)
+
+let test_parse_fig9_stops_at_section () =
+  let series = Dd_sim.Sweep_plot.parse_sweep_table ~header:"Fig. 9" sample_output in
+  let grover = List.find (fun s -> s.Dd_sim.Sweep_plot.series_name = "grover_12") series in
+  check_int "two s_max points" 2 (List.length grover.Dd_sim.Sweep_plot.points)
+
+let test_parse_missing_section () =
+  check_bool "missing section raises" true
+    (try
+       ignore (Dd_sim.Sweep_plot.parse_sweep_table ~header:"Fig. 77" sample_output);
+       false
+     with Not_found -> true)
+
+let test_render_svg () =
+  let series = Dd_sim.Sweep_plot.parse_sweep_table ~header:"Fig. 8" sample_output in
+  let svg = Dd_sim.Sweep_plot.render ~title:"test" ~x_label:"k" series in
+  let count sub =
+    let n = String.length svg and m = String.length sub in
+    let c = ref 0 in
+    for i = 0 to n - m do
+      if String.sub svg i m = sub then incr c
+    done;
+    !c
+  in
+  check_bool "svg document" true (count "<svg" = 1 && count "</svg>" = 1);
+  check_int "one polyline per series" 3 (count "<polyline");
+  check_bool "legend labels present" true (count "grover_12" >= 1);
+  check_bool "data point markers present" true (count "<circle" >= 6)
+
+let test_render_rejects_empty () =
+  Alcotest.check_raises "no data"
+    (Invalid_argument "Sweep_plot.render: no data") (fun () ->
+      ignore (Dd_sim.Sweep_plot.render ~title:"t" ~x_label:"k" []))
+
+let suite =
+  [
+    Alcotest.test_case "parse_fig8" `Quick test_parse_fig8;
+    Alcotest.test_case "parse_fig9" `Quick test_parse_fig9_stops_at_section;
+    Alcotest.test_case "parse_missing" `Quick test_parse_missing_section;
+    Alcotest.test_case "render_svg" `Quick test_render_svg;
+    Alcotest.test_case "render_empty" `Quick test_render_rejects_empty;
+  ]

@@ -1,0 +1,211 @@
+open Util
+
+let roundtrip circuit =
+  Qasm.of_string (Qasm.to_string circuit)
+
+let states_agree msg a b =
+  check_cnum_array msg (dense_state_of_circuit a) (dense_state_of_circuit b)
+
+let contains_sub text sub =
+  let n = String.length text and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub text i m = sub || loop (i + 1)) in
+  loop 0
+
+let test_export_header () =
+  let text = Qasm.to_string (Standard.bell ()) in
+  check_bool "version line" true
+    (String.length text > 12 && String.sub text 0 12 = "OPENQASM 2.0");
+  check_bool "declares the register" true (contains_sub text "qreg q[2];")
+
+let test_roundtrip_bell () =
+  states_agree "bell roundtrip" (Standard.bell ()) (roundtrip (Standard.bell ()))
+
+let test_roundtrip_parameterised () =
+  let circuit =
+    Circuit.of_gates ~qubits:3
+      [
+        Gate.rx 0.123 0; Gate.ry (-2.5) 1; Gate.rz 1.7 2;
+        Gate.phase 0.333 0; Gate.cphase 0.75 0 2;
+        Gate.make ~controls:[ Gate.ctrl 1 ] (Gate.Rz 0.5) 2;
+      ]
+  in
+  states_agree "parameterised roundtrip" circuit (roundtrip circuit)
+
+let test_roundtrip_controlled () =
+  let circuit =
+    Circuit.of_gates ~qubits:3
+      [ Gate.cx 0 1; Gate.cz 1 2; Gate.ccx 0 1 2; Gate.h 0 ]
+  in
+  states_agree "controlled roundtrip" circuit (roundtrip circuit)
+
+let test_negative_control_lowering () =
+  (* export lowers negative controls with X conjugation; semantics must be
+     preserved *)
+  let circuit =
+    Circuit.of_gates ~qubits:2
+      [ Gate.h 1; Gate.make ~controls:[ Gate.nctrl 1 ] Gate.X 0 ]
+  in
+  states_agree "negative control lowering" circuit (roundtrip circuit)
+
+let test_unsupported_export () =
+  let circuit = Circuit.of_gates ~qubits:1 [ Gate.sy 0 ] in
+  check_bool "sy has no spelling" true
+    (try
+       ignore (Qasm.to_string circuit);
+       false
+     with Qasm.Unsupported _ -> true)
+
+let test_unsupported_many_controls () =
+  let circuit = Circuit.of_gates ~qubits:4 [ Gate.mcz [ 0; 1; 2 ] 3 ] in
+  check_bool "3-controlled z rejected" true
+    (try
+       ignore (Qasm.to_string circuit);
+       false
+     with Qasm.Unsupported _ -> true)
+
+let test_parse_expressions () =
+  let source =
+    "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\n\
+     rz(pi/2) q[0];\nrz(-pi/4) q[0];\nrz(2*pi/8) q[0];\nrz(0.5e-1) q[0];\n"
+  in
+  let circuit = Qasm.of_string source in
+  let angles =
+    List.filter_map
+      (fun (g : Gate.t) ->
+        match g.kind with
+        | Gate.Rz theta -> Some theta
+        | Gate.X | Gate.Y | Gate.Z | Gate.H | Gate.S | Gate.Sdg | Gate.T
+        | Gate.Tdg | Gate.Sx | Gate.Sxdg | Gate.Sy | Gate.Sydg | Gate.Rx _
+        | Gate.Ry _ | Gate.Phase _ | Gate.Custom _ ->
+          None)
+      (Circuit.flatten circuit)
+  in
+  match angles with
+  | [ a; b; c; d ] ->
+    check_float "pi/2" (Float.pi /. 2.) a;
+    check_float "-pi/4" (-.Float.pi /. 4.) b;
+    check_float "2*pi/8" (Float.pi /. 4.) c;
+    check_float "0.5e-1" 0.05 d
+  | _ -> Alcotest.fail "expected four rz gates"
+
+let test_parse_swap_and_comments () =
+  let source =
+    "// a comment\nOPENQASM 2.0;\nqreg q[2];\nx q[0];\nswap q[0],q[1]; // swap\n"
+  in
+  let circuit = Qasm.of_string source in
+  let engine = Dd_sim.Engine.create 2 in
+  Dd_sim.Engine.run engine circuit;
+  check_cnum "swap moved the excitation" Dd_complex.Cnum.one
+    (Dd_sim.Engine.amplitude engine 2)
+
+let test_parse_ignores_measure_and_creg () =
+  let source =
+    "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\nmeasure q[0] -> c[0];\n\
+     barrier q[0],q[1];\n"
+  in
+  check_int "only the h survives" 1 (Circuit.gate_count (Qasm.of_string source))
+
+let test_parse_error_reports_line () =
+  let source = "OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n" in
+  check_bool "unknown gate raises with position" true
+    (try
+       ignore (Qasm.of_string source);
+       false
+     with Qasm.Parse_error { line = _; message } ->
+       String.length message > 0)
+
+let test_parse_requires_qreg () =
+  check_bool "no qreg is an error" true
+    (try
+       ignore (Qasm.of_string "OPENQASM 2.0;\n");
+       false
+     with Qasm.Parse_error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "export_header" `Quick test_export_header;
+    Alcotest.test_case "roundtrip_bell" `Quick test_roundtrip_bell;
+    Alcotest.test_case "roundtrip_parameterised" `Quick
+      test_roundtrip_parameterised;
+    Alcotest.test_case "roundtrip_controlled" `Quick
+      test_roundtrip_controlled;
+    Alcotest.test_case "negative_control_lowering" `Quick
+      test_negative_control_lowering;
+    Alcotest.test_case "unsupported_export" `Quick test_unsupported_export;
+    Alcotest.test_case "unsupported_many_controls" `Quick
+      test_unsupported_many_controls;
+    Alcotest.test_case "parse_expressions" `Quick test_parse_expressions;
+    Alcotest.test_case "parse_swap" `Quick test_parse_swap_and_comments;
+    Alcotest.test_case "parse_ignores_measure" `Quick
+      test_parse_ignores_measure_and_creg;
+    Alcotest.test_case "parse_error_line" `Quick test_parse_error_reports_line;
+    Alcotest.test_case "parse_requires_qreg" `Quick test_parse_requires_qreg;
+  ]
+
+(* extended gate-set coverage appended; suite re-exported *)
+
+let test_parse_u3_and_u2 () =
+  let source =
+    "OPENQASM 2.0;\nqreg q[1];\nu3(pi/2,0,pi) q[0];\n"
+  in
+  (* u3(pi/2, 0, pi) = H up to global phase *)
+  let circuit = Qasm.of_string source in
+  let reference = Circuit.of_gates ~qubits:1 [ Gate.h 0 ] in
+  check_bool "u3(pi/2,0,pi) is H" true
+    (Dd_sim.Equivalence.equivalent circuit reference);
+  let u2 = Qasm.of_string "OPENQASM 2.0;\nqreg q[1];\nu2(0,pi) q[0];\n" in
+  check_bool "u2(0,pi) is H" true
+    (Dd_sim.Equivalence.equivalent u2 reference)
+
+let test_parse_crx_cry () =
+  let source =
+    "OPENQASM 2.0;\nqreg q[2];\ncrx(0.7) q[0],q[1];\ncry(-0.3) q[1],q[0];\n"
+  in
+  let circuit = Qasm.of_string source in
+  let reference =
+    Circuit.of_gates ~qubits:2
+      [
+        Gate.make ~controls:[ Gate.ctrl 0 ] (Gate.Rx 0.7) 1;
+        Gate.make ~controls:[ Gate.ctrl 1 ] (Gate.Ry (-0.3)) 0;
+      ]
+  in
+  check_cnum_array "controlled rotations"
+    (dense_state_of_circuit reference)
+    (dense_state_of_circuit circuit)
+
+let test_parse_rzz () =
+  let source = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nh q[1];\nrzz(0.9) q[0],q[1];\n" in
+  let circuit = Qasm.of_string source in
+  let reference =
+    Circuit.of_gates ~qubits:2
+      [ Gate.h 0; Gate.h 1; Gate.cx 0 1; Gate.rz 0.9 1; Gate.cx 0 1 ]
+  in
+  check_cnum_array "rzz decomposition"
+    (dense_state_of_circuit reference)
+    (dense_state_of_circuit circuit)
+
+let test_parse_cswap () =
+  let source = "OPENQASM 2.0;\nqreg q[3];\nx q[0];\nx q[1];\ncswap q[0],q[1],q[2];\n" in
+  let circuit = Qasm.of_string source in
+  let engine = Dd_sim.Engine.create 3 in
+  Dd_sim.Engine.run engine circuit;
+  (* control q0=1: q1 and q2 swap: |011> -> |101> = index 5 *)
+  check_cnum "fredkin fired" Dd_complex.Cnum.one
+    (Dd_sim.Engine.amplitude engine 5)
+
+let test_parse_bad_arity () =
+  check_bool "u3 with two params rejected" true
+    (try
+       ignore (Qasm.of_string "OPENQASM 2.0;\nqreg q[1];\nu3(1,2) q[0];\n");
+       false
+     with Qasm.Parse_error _ -> true)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "parse_u3_u2" `Quick test_parse_u3_and_u2;
+      Alcotest.test_case "parse_crx_cry" `Quick test_parse_crx_cry;
+      Alcotest.test_case "parse_rzz" `Quick test_parse_rzz;
+      Alcotest.test_case "parse_cswap" `Quick test_parse_cswap;
+      Alcotest.test_case "parse_bad_arity" `Quick test_parse_bad_arity;
+    ]

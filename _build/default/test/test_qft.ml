@@ -1,0 +1,100 @@
+open Dd_complex
+open Util
+
+(* dense DFT matrix: F[y][x] = exp(2 pi i x y / 2^n) / sqrt(2^n) *)
+let dft_matrix n =
+  let dim = 1 lsl n in
+  let norm = 1. /. sqrt (float_of_int dim) in
+  Array.init dim (fun y ->
+      Array.init dim (fun x ->
+          Cnum.of_polar norm
+            (2. *. Float.pi *. float_of_int (x * y) /. float_of_int dim)))
+
+let test_qft_matches_dft () =
+  List.iter
+    (fun n ->
+      let expected = dft_matrix n in
+      let actual = dense_circuit_matrix (Qft.circuit n) in
+      Array.iteri
+        (fun row erow ->
+          Array.iteri
+            (fun col e ->
+              check_cnum
+                (Printf.sprintf "qft_%d [%d,%d]" n row col)
+                e
+                actual.(row).(col))
+            erow)
+        expected)
+    [ 1; 2; 3; 4 ]
+
+let test_iqft_inverts () =
+  let n = 4 in
+  let circuit = Circuit.append (Qft.circuit n) (Qft.inverse_circuit n) in
+  let engine = Dd_sim.Engine.create n in
+  Dd_sim.Engine.apply_gate engine (Gate.x 1);
+  Dd_sim.Engine.apply_gate engine (Gate.x 3);
+  Dd_sim.Engine.run engine circuit;
+  check_float "QFT then iQFT is the identity" 1.
+    (Cnum.mag2 (Dd_sim.Engine.amplitude engine 10))
+
+let test_qft_of_zero_is_uniform () =
+  let n = 5 in
+  let engine = Dd_sim.Engine.create n in
+  Dd_sim.Engine.run engine (Qft.circuit n) ;
+  let amp = 1. /. float_of_int (1 lsl n) in
+  for i = 0 to (1 lsl n) - 1 do
+    check_float
+      (Printf.sprintf "uniform amplitude %d" i)
+      amp
+      (Cnum.mag2 (Dd_sim.Engine.amplitude engine i))
+  done
+
+let test_qft_no_swaps_bit_reversed () =
+  let n = 3 in
+  let with_swaps = Qft.on_register (Array.init n (fun i -> i)) in
+  let without = Qft.on_register ~swaps:false (Array.init n (fun i -> i)) in
+  check_bool "swap variant has more gates" true
+    (List.length with_swaps > List.length without)
+
+let test_qft_on_sub_register () =
+  (* QFT on qubits 1..2 of a 4-qubit system leaves qubits 0 and 3 alone *)
+  let gates = Qft.on_register [| 1; 2 |] in
+  let circuit = Circuit.of_gates ~qubits:4 gates in
+  let engine = Dd_sim.Engine.create 4 in
+  Dd_sim.Engine.apply_gate engine (Gate.x 0);
+  Dd_sim.Engine.apply_gate engine (Gate.x 3);
+  Dd_sim.Engine.run engine circuit;
+  (* qubits 0 and 3 still deterministic *)
+  check_float "qubit 0 untouched" 1.
+    (Dd_sim.Engine.probability_one engine ~qubit:0);
+  check_float "qubit 3 untouched" 1.
+    (Dd_sim.Engine.probability_one engine ~qubit:3)
+
+let test_phase_gradient_state () =
+  (* QFT |x> amplitudes all have magnitude 2^(-n/2) and the right phases *)
+  let n = 3 in
+  let x = 5 in
+  let engine = Dd_sim.Engine.create n in
+  Dd_sim.Engine.set_state engine
+    (Dd.Vdd.basis (Dd_sim.Engine.context engine) ~n x);
+  Dd_sim.Engine.run engine (Qft.circuit n);
+  let dim = 1 lsl n in
+  for y = 0 to dim - 1 do
+    let expected =
+      Cnum.of_polar
+        (1. /. sqrt (float_of_int dim))
+        (2. *. Float.pi *. float_of_int (x * y) /. float_of_int dim)
+    in
+    check_cnum (Printf.sprintf "phase at %d" y) expected
+      (Dd_sim.Engine.amplitude engine y)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "qft_matches_dft" `Quick test_qft_matches_dft;
+    Alcotest.test_case "iqft_inverts" `Quick test_iqft_inverts;
+    Alcotest.test_case "qft_zero_uniform" `Quick test_qft_of_zero_is_uniform;
+    Alcotest.test_case "qft_no_swaps" `Quick test_qft_no_swaps_bit_reversed;
+    Alcotest.test_case "qft_sub_register" `Quick test_qft_on_sub_register;
+    Alcotest.test_case "phase_gradient" `Quick test_phase_gradient_state;
+  ]

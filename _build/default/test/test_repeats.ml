@@ -1,0 +1,80 @@
+open Util
+
+let has_repeat circuit =
+  List.exists
+    (function Circuit.Repeat _ -> true | Circuit.Gate _ -> false)
+    Circuit.(circuit.ops)
+
+let test_detect_simple_loop () =
+  let body = [ Gate.h 0; Gate.cx 0 1; Gate.t_gate 1 ] in
+  let gates = List.concat (List.init 5 (fun _ -> body)) in
+  let circuit = Circuit.of_gates ~qubits:2 gates in
+  let detected = Repeats.detect circuit in
+  check_bool "repeat found" true (has_repeat detected);
+  check_bool "semantics preserved" true
+    (Circuit.flatten detected = Circuit.flatten circuit)
+
+let test_detect_recovers_grover_structure () =
+  (* flatten grover (losing the Repeat), re-detect, and check that
+     DD-repeating works again *)
+  let n = 6 and marked = 22 in
+  let structured = Grover.circuit ~n ~marked () in
+  let flat = Circuit.of_gates ~qubits:n (Circuit.flatten structured) in
+  check_bool "flattened circuit has no repeat" false (has_repeat flat);
+  let detected = Repeats.detect flat in
+  check_bool "detection recovers a repeat" true (has_repeat detected);
+  check_bool "gate stream unchanged" true
+    (Circuit.flatten detected = Circuit.flatten structured);
+  (* and the recovered structure actually enables DD-repeating *)
+  let engine = Dd_sim.Engine.create n in
+  Dd_sim.Engine.run ~use_repeating:true engine detected;
+  check_bool "search still succeeds" true
+    (Grover.success_probability engine ~marked > 0.9);
+  let stats = Dd_sim.Engine.stats engine in
+  check_bool "block was re-applied, not recombined" true
+    (stats.Dd_sim.Sim_stats.mat_vec_mults
+     < Circuit.gate_count structured / 4)
+
+let test_no_false_positives () =
+  let circuit = Standard.random_circuit ~seed:13 ~qubits:4 ~gates:40 () in
+  let detected = Repeats.detect circuit in
+  check_bool "random circuit gate stream unchanged" true
+    (Circuit.flatten detected = Circuit.flatten circuit)
+
+let test_min_gates_threshold () =
+  (* a 2-gate body repeated twice covers 4 gates: below the default
+     threshold of 8, so nothing is rewritten *)
+  let body = [ Gate.h 0; Gate.x 1 ] in
+  let circuit = Circuit.of_gates ~qubits:2 (body @ body) in
+  check_bool "too small to rewrite" false
+    (has_repeat (Repeats.detect circuit));
+  check_bool "explicit lower threshold rewrites it" true
+    (has_repeat (Repeats.detect ~min_gates:4 circuit))
+
+let test_prefers_covering_run () =
+  (* aaaa bbb: the aaaa run (period 1 not considered by default min_period
+     2... use min_period 1) *)
+  let gates = [ Gate.h 0; Gate.h 0; Gate.h 0; Gate.h 0; Gate.x 0 ] in
+  let circuit = Circuit.of_gates ~qubits:1 gates in
+  let detected = Repeats.detect ~min_period:1 ~min_gates:4 circuit in
+  check_bool "period-1 run detected" true (has_repeat detected);
+  check_bool "trailing gate kept" true
+    (Circuit.flatten detected = gates)
+
+let test_bad_bounds_rejected () =
+  let circuit = Standard.bell () in
+  Alcotest.check_raises "bad bounds"
+    (Invalid_argument "Repeats.detect: bad period bounds") (fun () ->
+      ignore (Repeats.detect ~min_period:5 ~max_period:2 circuit))
+
+let suite =
+  [
+    Alcotest.test_case "detect_simple_loop" `Quick test_detect_simple_loop;
+    Alcotest.test_case "recovers_grover" `Quick
+      test_detect_recovers_grover_structure;
+    Alcotest.test_case "no_false_positives" `Quick test_no_false_positives;
+    Alcotest.test_case "min_gates_threshold" `Quick test_min_gates_threshold;
+    Alcotest.test_case "prefers_covering_run" `Quick
+      test_prefers_covering_run;
+    Alcotest.test_case "bad_bounds" `Quick test_bad_bounds_rejected;
+  ]

@@ -1,0 +1,255 @@
+open Util
+
+(* helpers: prepare a register value, run gates, read a register value *)
+
+let set_register engine register value =
+  Array.iteri
+    (fun j qubit ->
+      if (value lsr j) land 1 = 1 then
+        Dd_sim.Engine.apply_gate engine (Gate.x qubit))
+    register
+
+let read_register engine register =
+  (* the state is a basis state in these arithmetic tests *)
+  let index = Dd_sim.Engine.sample engine in
+  Array.to_list register
+  |> List.mapi (fun j qubit -> ((index lsr qubit) land 1) lsl j)
+  |> List.fold_left ( + ) 0
+
+let run_gates engine gates =
+  let circuit =
+    Circuit.of_gates ~qubits:(Dd_sim.Engine.qubits engine) gates
+  in
+  Dd_sim.Engine.run engine circuit
+
+let test_phi_add () =
+  (* QFT; phi_add(a); iQFT == +a (mod 2^m) on a 4-qubit register *)
+  let register = [| 0; 1; 2; 3 |] in
+  List.iter
+    (fun (b, a) ->
+      let engine = Dd_sim.Engine.create 4 in
+      set_register engine register b;
+      run_gates engine (Qft.on_register register);
+      run_gates engine (Shor.phi_add_gates ~register a);
+      run_gates engine (Qft.inverse_on_register register);
+      check_int
+        (Printf.sprintf "%d + %d mod 16" b a)
+        ((b + a) mod 16)
+        (read_register engine register))
+    [ (0, 5); (3, 4); (9, 9); (15, 1); (7, 0) ]
+
+let test_phi_sub () =
+  let register = [| 0; 1; 2 |] in
+  let engine = Dd_sim.Engine.create 3 in
+  set_register engine register 3;
+  run_gates engine (Qft.on_register register);
+  run_gates engine (Shor.phi_sub_gates ~register 5);
+  run_gates engine (Qft.inverse_on_register register);
+  check_int "3 - 5 mod 8" 6 (read_register engine register)
+
+let test_phi_add_controlled () =
+  let register = [| 1; 2; 3 |] in
+  List.iter
+    (fun (control_set, expected) ->
+      let engine = Dd_sim.Engine.create 4 in
+      if control_set then Dd_sim.Engine.apply_gate engine (Gate.x 0);
+      set_register engine register 2;
+      run_gates engine (Qft.on_register register);
+      run_gates engine
+        (Shor.phi_add_gates ~controls:[ Gate.ctrl 0 ] ~register 3);
+      run_gates engine (Qft.inverse_on_register register);
+      check_int
+        (Printf.sprintf "controlled add, control=%b" control_set)
+        expected
+        (read_register engine register))
+    [ (true, 5); (false, 2) ]
+
+let modulus = 11 (* n = 4 bits; Beauregard layout has 11 qubits *)
+
+let test_modular_adder () =
+  let lay = Shor.layout modulus in
+  let qubits = Shor.beauregard_qubits modulus in
+  List.iter
+    (fun (b, a) ->
+      let engine = Dd_sim.Engine.create qubits in
+      set_register engine lay.Shor.b b;
+      run_gates engine (Qft.on_register lay.Shor.b);
+      run_gates engine
+        (Shor.modular_adder_gates ~layout:lay ~modulus a);
+      run_gates engine (Qft.inverse_on_register lay.Shor.b);
+      check_int
+        (Printf.sprintf "%d + %d mod %d" b a modulus)
+        ((b + a) mod modulus)
+        (read_register engine lay.Shor.b);
+      (* the comparison ancilla must be restored *)
+      check_float "ancilla clean" 0.
+        (Dd_sim.Engine.probability_one engine ~qubit:lay.Shor.ancilla))
+    [ (0, 5); (6, 7); (10, 10); (3, 0); (0, 0); (10, 1) ]
+
+let test_modular_adder_controls_off () =
+  let lay = Shor.layout modulus in
+  let qubits = Shor.beauregard_qubits modulus in
+  let engine = Dd_sim.Engine.create qubits in
+  set_register engine lay.Shor.b 6;
+  run_gates engine (Qft.on_register lay.Shor.b);
+  run_gates engine
+    (Shor.modular_adder_gates
+       ~controls:[ Gate.ctrl lay.Shor.control ]
+       ~layout:lay ~modulus 7);
+  run_gates engine (Qft.inverse_on_register lay.Shor.b);
+  check_int "gadget is the identity when its controls are off" 6
+    (read_register engine lay.Shor.b);
+  check_float "ancilla clean" 0.
+    (Dd_sim.Engine.probability_one engine ~qubit:lay.Shor.ancilla)
+
+let test_cmult () =
+  let lay = Shor.layout modulus in
+  let qubits = Shor.beauregard_qubits modulus in
+  List.iter
+    (fun (x, a) ->
+      let engine = Dd_sim.Engine.create qubits in
+      Dd_sim.Engine.apply_gate engine (Gate.x lay.Shor.control);
+      set_register engine lay.Shor.x x;
+      run_gates engine
+        (Shor.cmult_gates ~layout:lay ~control:lay.Shor.control ~modulus a);
+      check_int
+        (Printf.sprintf "b <- %d * %d mod %d" a x modulus)
+        (a * x mod modulus)
+        (read_register engine lay.Shor.b);
+      check_int "x unchanged" x (read_register engine lay.Shor.x))
+    [ (1, 3); (5, 4); (10, 10) ]
+
+let test_controlled_ua () =
+  let lay = Shor.layout modulus in
+  let qubits = Shor.beauregard_qubits modulus in
+  List.iter
+    (fun (x, a) ->
+      let engine = Dd_sim.Engine.create qubits in
+      Dd_sim.Engine.apply_gate engine (Gate.x lay.Shor.control);
+      set_register engine lay.Shor.x x;
+      run_gates engine
+        (Shor.controlled_ua_gates ~layout:lay ~control:lay.Shor.control
+           ~modulus a);
+      check_int
+        (Printf.sprintf "x <- %d * %d mod %d" a x modulus)
+        (a * x mod modulus)
+        (read_register engine lay.Shor.x);
+      check_int "b register back to zero" 0 (read_register engine lay.Shor.b))
+    [ (1, 2); (4, 3); (7, 8) ]
+
+let test_controlled_ua_control_off () =
+  let lay = Shor.layout modulus in
+  let qubits = Shor.beauregard_qubits modulus in
+  let engine = Dd_sim.Engine.create qubits in
+  set_register engine lay.Shor.x 6;
+  run_gates engine
+    (Shor.controlled_ua_gates ~layout:lay ~control:lay.Shor.control ~modulus 3);
+  check_int "U_a is the identity when the control is off" 6
+    (read_register engine lay.Shor.x)
+
+let test_controlled_ua_rejects_non_coprime () =
+  let lay = Shor.layout 15 in
+  Alcotest.check_raises "a shares a factor"
+    (Invalid_argument "Shor.controlled_ua_gates: base not coprime to modulus")
+    (fun () ->
+      ignore
+        (Shor.controlled_ua_gates ~layout:lay ~control:lay.Shor.control
+           ~modulus:15 5))
+
+let test_qubit_counts () =
+  check_int "Beauregard uses 2n+3" 11 (Shor.beauregard_qubits 11);
+  check_int "direct uses n+1" 5 (Shor.direct_qubits 11);
+  check_int "paper instance 11623 -> 31 qubits" 31
+    (Shor.beauregard_qubits 11623);
+  check_int "paper instance 11623 direct -> 15 qubits" 15
+    (Shor.direct_qubits 11623)
+
+let test_order_finding_direct_15 () =
+  let run = Shor.run_order_finding ~backend:Shor.Direct ~a:7 15 in
+  check_int "n+1 qubits" 5 run.Shor.engine_qubits;
+  check_int "2n phase bits" 8 run.Shor.phase_bits
+
+let test_find_order_direct () =
+  List.iter
+    (fun (modulus, a) ->
+      let expected = Ntheory.multiplicative_order a modulus in
+      check_bool
+        (Printf.sprintf "order of %d mod %d" a modulus)
+        true
+        (Shor.find_order ~backend:Shor.Direct ~a modulus = Some expected))
+    [ (15, 7); (15, 2); (21, 2); (21, 5); (33, 5) ]
+
+let test_find_order_beauregard () =
+  List.iter
+    (fun strategy ->
+      check_bool
+        ("Beauregard order finding, strategy "
+        ^ Dd_sim.Strategy.to_string strategy)
+        true
+        (Shor.find_order
+           ~backend:(Shor.Beauregard strategy)
+           ~a:7 15
+        = Some 4))
+    [ Dd_sim.Strategy.Sequential; Dd_sim.Strategy.K_operations 8 ]
+
+let test_backends_agree () =
+  (* same seed, same modulus: both backends must recover the true order *)
+  let expected = Ntheory.multiplicative_order 2 15 in
+  check_bool "direct" true
+    (Shor.find_order ~backend:Shor.Direct ~a:2 15 = Some expected);
+  check_bool "beauregard" true
+    (Shor.find_order
+       ~backend:(Shor.Beauregard (Dd_sim.Strategy.Max_size 512))
+       ~a:2 15
+    = Some expected)
+
+let test_factor_direct () =
+  List.iter
+    (fun (modulus, p, q) ->
+      check_bool
+        (Printf.sprintf "factor %d" modulus)
+        true
+        (Shor.factor ~backend:Shor.Direct modulus = Some (p, q)))
+    [ (15, 3, 5); (21, 3, 7); (33, 3, 11); (35, 5, 7) ]
+
+let test_factor_beauregard () =
+  check_bool "factor 15 via the full circuit" true
+    (Shor.factor ~backend:(Shor.Beauregard Dd_sim.Strategy.Sequential) 15
+    = Some (3, 5))
+
+let test_factor_even_shortcut () =
+  check_bool "even shortcut" true
+    (Shor.factor ~backend:Shor.Direct 14 = Some (2, 7))
+
+let test_factor_prime_rejected () =
+  check_bool "primes have no factors" true
+    (Shor.factor ~backend:Shor.Direct 13 = None)
+
+let suite =
+  [
+    Alcotest.test_case "phi_add" `Quick test_phi_add;
+    Alcotest.test_case "phi_sub" `Quick test_phi_sub;
+    Alcotest.test_case "phi_add_controlled" `Quick test_phi_add_controlled;
+    Alcotest.test_case "modular_adder" `Quick test_modular_adder;
+    Alcotest.test_case "modular_adder_controls_off" `Quick
+      test_modular_adder_controls_off;
+    Alcotest.test_case "cmult" `Quick test_cmult;
+    Alcotest.test_case "controlled_ua" `Quick test_controlled_ua;
+    Alcotest.test_case "controlled_ua_off" `Quick
+      test_controlled_ua_control_off;
+    Alcotest.test_case "controlled_ua_non_coprime" `Quick
+      test_controlled_ua_rejects_non_coprime;
+    Alcotest.test_case "qubit_counts" `Quick test_qubit_counts;
+    Alcotest.test_case "order_finding_direct_15" `Quick
+      test_order_finding_direct_15;
+    Alcotest.test_case "find_order_direct" `Quick test_find_order_direct;
+    Alcotest.test_case "find_order_beauregard" `Slow
+      test_find_order_beauregard;
+    Alcotest.test_case "backends_agree" `Slow test_backends_agree;
+    Alcotest.test_case "factor_direct" `Quick test_factor_direct;
+    Alcotest.test_case "factor_beauregard" `Slow test_factor_beauregard;
+    Alcotest.test_case "factor_even_shortcut" `Quick
+      test_factor_even_shortcut;
+    Alcotest.test_case "factor_prime_rejected" `Quick
+      test_factor_prime_rejected;
+  ]

@@ -1,0 +1,79 @@
+open Dd_complex
+open Util
+
+let test_initial () =
+  let state = Sparse_state.create 5 in
+  check_int "support 1" 1 (Sparse_state.support_size state);
+  check_cnum "amp |0>" Cnum.one (Sparse_state.amplitude state 0)
+
+let test_x_keeps_support_one () =
+  let state = Sparse_state.create 40 in
+  Sparse_state.apply_gate state (Gate.x 35);
+  check_int "support stays 1" 1 (Sparse_state.support_size state);
+  check_cnum "moved amplitude" Cnum.one
+    (Sparse_state.amplitude state (1 lsl 35))
+
+let test_wide_register_basis_circuit () =
+  (* 50 qubits: impossible densely, trivial sparsely *)
+  let state = Sparse_state.create 50 in
+  let gates = [ Gate.x 0; Gate.cx 0 49; Gate.ccx 0 49 25 ] in
+  List.iter (Sparse_state.apply_gate state) gates;
+  check_cnum "basis path tracked" Cnum.one
+    (Sparse_state.amplitude state (1 lor (1 lsl 49) lor (1 lsl 25)));
+  check_int "support still 1" 1 (Sparse_state.support_size state)
+
+let test_h_doubles_support () =
+  let state = Sparse_state.create 3 in
+  Sparse_state.apply_gate state (Gate.h 0);
+  Sparse_state.apply_gate state (Gate.h 1);
+  check_int "two hadamards -> support 4" 4 (Sparse_state.support_size state)
+
+let test_interference_shrinks_support () =
+  let state = Sparse_state.create 1 in
+  Sparse_state.apply_gate state (Gate.h 0);
+  check_int "superposed" 2 (Sparse_state.support_size state);
+  Sparse_state.apply_gate state (Gate.h 0);
+  (* H H = I: the |1> amplitude cancels exactly and must be dropped *)
+  check_int "interference cancels the |1> branch" 1
+    (Sparse_state.support_size state);
+  check_cnum "back to |0>" Cnum.one (Sparse_state.amplitude state 0)
+
+let test_matches_dense_on_random () =
+  List.iter
+    (fun seed ->
+      let circuit = Standard.random_circuit ~seed ~qubits:5 ~gates:40 () in
+      let sparse = Sparse_state.create 5 in
+      Sparse_state.run sparse circuit;
+      check_cnum_array
+        (Printf.sprintf "sparse vs dense, seed %d" seed)
+        (dense_state_of_circuit circuit)
+        (Sparse_state.to_array sparse))
+    [ 1; 2; 3 ]
+
+let test_matches_dd_on_ghz () =
+  let circuit = Standard.ghz 6 in
+  let sparse = Sparse_state.create 6 in
+  Sparse_state.run sparse circuit;
+  check_cnum_array "sparse vs dd on ghz" (dd_state_of_circuit circuit)
+    (Sparse_state.to_array sparse);
+  check_int "ghz support is 2" 2 (Sparse_state.support_size sparse)
+
+let test_norm_preserved () =
+  let circuit = Standard.random_circuit ~seed:9 ~qubits:6 ~gates:60 () in
+  let sparse = Sparse_state.create 6 in
+  Sparse_state.run sparse circuit;
+  check_float "unitary norm" 1. (Sparse_state.norm2 sparse)
+
+let suite =
+  [
+    Alcotest.test_case "initial" `Quick test_initial;
+    Alcotest.test_case "x_support" `Quick test_x_keeps_support_one;
+    Alcotest.test_case "wide_register" `Quick
+      test_wide_register_basis_circuit;
+    Alcotest.test_case "h_doubles" `Quick test_h_doubles_support;
+    Alcotest.test_case "interference" `Quick
+      test_interference_shrinks_support;
+    Alcotest.test_case "matches_dense" `Quick test_matches_dense_on_random;
+    Alcotest.test_case "matches_dd_ghz" `Quick test_matches_dd_on_ghz;
+    Alcotest.test_case "norm_preserved" `Quick test_norm_preserved;
+  ]

@@ -1,0 +1,98 @@
+open Dd_complex
+open Util
+
+let prepared amplitudes =
+  let circuit = Stateprep.circuit amplitudes in
+  let engine = Dd_sim.Engine.create Circuit.(circuit.qubits) in
+  Dd_sim.Engine.run engine circuit;
+  engine
+
+let fidelity_with engine target =
+  let norm =
+    sqrt (Array.fold_left (fun acc a -> acc +. Cnum.mag2 a) 0. target)
+  in
+  let normalised = Array.map (fun a -> Cnum.scale (1. /. norm) a) target in
+  Dd_sim.Engine.fidelity_dense engine normalised
+
+let test_prepare_real_states () =
+  List.iter
+    (fun target ->
+      let engine = prepared target in
+      check_float "fidelity 1" 1. (fidelity_with engine target))
+    [
+      [| Cnum.of_float 0.6; Cnum.of_float 0.8 |];
+      [| Cnum.of_float 1.; Cnum.of_float 1.; Cnum.of_float 1.; Cnum.of_float 1. |];
+      [| Cnum.of_float 0.1; Cnum.of_float 0.; Cnum.of_float 0.7;
+         Cnum.of_float 0.2 |];
+      Array.init 8 (fun i -> Cnum.of_float (float_of_int (i + 1)));
+    ]
+
+let test_prepare_complex_states () =
+  List.iter
+    (fun target ->
+      let engine = prepared target in
+      check_float "fidelity 1" 1. (fidelity_with engine target))
+    [
+      [| Cnum.make 0.5 0.5; Cnum.make 0. 0.70710678 |];
+      [| Cnum.make 0.1 0.3; Cnum.make (-0.2) 0.1; Cnum.make 0. 0.;
+         Cnum.make 0.5 (-0.4) |];
+      Array.init 16 (fun i ->
+          Cnum.of_polar (1. +. (0.1 *. float_of_int i)) (0.37 *. float_of_int i));
+    ]
+
+let test_prepare_basis_state () =
+  let target = Array.make 8 Cnum.zero in
+  target.(5) <- Cnum.one;
+  let engine = prepared target in
+  check_float "prepares |101>" 1.
+    (Cnum.mag2 (Dd_sim.Engine.amplitude engine 5))
+
+let test_prepare_random () =
+  let rng = Random.State.make [| 31 |] in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int rng 4 in
+    let target =
+      Array.init (1 lsl n) (fun _ ->
+          Cnum.make
+            (Random.State.float rng 2. -. 1.)
+            (Random.State.float rng 2. -. 1.))
+    in
+    (* avoid the zero-vector corner *)
+    target.(0) <- Cnum.add target.(0) Cnum.one;
+    let engine = prepared target in
+    check_bool "random state prepared" true
+      (fidelity_with engine target > 1. -. 1e-9)
+  done
+
+let test_w_state () =
+  let n = 5 in
+  let circuit = Stateprep.w_state n in
+  let engine = Dd_sim.Engine.create n in
+  Dd_sim.Engine.run engine circuit;
+  let expected = 1. /. float_of_int n in
+  for k = 0 to n - 1 do
+    check_float
+      (Printf.sprintf "weight-one index %d" (1 lsl k))
+      expected
+      (Cnum.mag2 (Dd_sim.Engine.amplitude engine (1 lsl k)))
+  done;
+  check_float "no |00000> component" 0.
+    (Cnum.mag2 (Dd_sim.Engine.amplitude engine 0))
+
+let test_rejects_bad_input () =
+  Alcotest.check_raises "zero vector"
+    (Invalid_argument "Stateprep.circuit: zero vector") (fun () ->
+      ignore (Stateprep.circuit [| Cnum.zero; Cnum.zero |]));
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Stateprep.circuit: length must be a power of two")
+    (fun () -> ignore (Stateprep.circuit (Array.make 3 Cnum.one)))
+
+let suite =
+  [
+    Alcotest.test_case "real_states" `Quick test_prepare_real_states;
+    Alcotest.test_case "complex_states" `Quick test_prepare_complex_states;
+    Alcotest.test_case "basis_state" `Quick test_prepare_basis_state;
+    Alcotest.test_case "random_states" `Quick test_prepare_random;
+    Alcotest.test_case "w_state" `Quick test_w_state;
+    Alcotest.test_case "rejects_bad_input" `Quick test_rejects_bad_input;
+  ]

@@ -1,0 +1,116 @@
+open Util
+
+let test_layer_pairs_adjacent () =
+  for t = 0 to 7 do
+    List.iter
+      (fun (a, b) ->
+        let ra = a / 5 and ca = a mod 5 in
+        let rb = b / 5 and cb = b mod 5 in
+        check_bool
+          (Printf.sprintf "cycle %d pair (%d,%d) adjacent" t a b)
+          true
+          (abs (ra - rb) + abs (ca - cb) = 1))
+      (Supremacy.cz_layer ~rows:4 ~cols:5 t)
+  done
+
+let test_layer_disjoint () =
+  for t = 0 to 7 do
+    let layer = Supremacy.cz_layer ~rows:4 ~cols:5 t in
+    let touched = Hashtbl.create 16 in
+    List.iter
+      (fun (a, b) ->
+        check_bool "no qubit reused within a layer" false
+          (Hashtbl.mem touched a || Hashtbl.mem touched b);
+        Hashtbl.add touched a ();
+        Hashtbl.add touched b ())
+      layer
+  done
+
+let test_all_edges_covered () =
+  let rows = 4 and cols = 4 in
+  let covered = Hashtbl.create 64 in
+  for t = 0 to 7 do
+    List.iter
+      (fun pair -> Hashtbl.replace covered pair ())
+      (Supremacy.cz_layer ~rows ~cols t)
+  done;
+  let expected_edges = (rows * (cols - 1)) + ((rows - 1) * cols) in
+  check_int "every grid edge fires once per period" expected_edges
+    (Hashtbl.length covered)
+
+let test_layers_cycle () =
+  check_bool "period 8" true
+    (Supremacy.cz_layer ~rows:3 ~cols:3 2 = Supremacy.cz_layer ~rows:3 ~cols:3 10)
+
+let test_circuit_shape () =
+  let circuit = Supremacy.circuit ~rows:3 ~cols:3 ~cycles:8 () in
+  check_int "grid qubits" 9 Circuit.(circuit.qubits);
+  let counts = Circuit.counts_by_name circuit in
+  check_int "one initial H per qubit" 9 (List.assoc "h" counts);
+  check_bool "CZ gates present" true (List.mem_assoc "cz" counts)
+
+let test_deterministic_per_seed () =
+  let a = Supremacy.circuit ~seed:5 ~rows:3 ~cols:3 ~cycles:10 () in
+  let b = Supremacy.circuit ~seed:5 ~rows:3 ~cols:3 ~cycles:10 () in
+  check_bool "same seed, same circuit" true
+    (Circuit.flatten a = Circuit.flatten b)
+
+let test_seed_changes_instance () =
+  let a = Supremacy.circuit ~seed:1 ~rows:3 ~cols:4 ~cycles:12 () in
+  let b = Supremacy.circuit ~seed:2 ~rows:3 ~cols:4 ~cycles:12 () in
+  check_bool "different seeds differ" false
+    (Circuit.flatten a = Circuit.flatten b)
+
+let test_t_before_sx_sy () =
+  (* rule: a qubit's first non-H single-qubit gate is a T *)
+  let circuit = Supremacy.circuit ~seed:3 ~rows:3 ~cols:3 ~cycles:16 () in
+  let first_sq = Hashtbl.create 9 in
+  List.iter
+    (fun (gate : Gate.t) ->
+      match gate.kind with
+      | Gate.T | Gate.Sx | Gate.Sy ->
+        if not (Hashtbl.mem first_sq gate.target) then
+          Hashtbl.add first_sq gate.target gate.kind
+      | Gate.X | Gate.Y | Gate.Z | Gate.H | Gate.S | Gate.Sdg | Gate.Tdg
+      | Gate.Sxdg | Gate.Sydg | Gate.Rx _ | Gate.Ry _ | Gate.Rz _
+      | Gate.Phase _ | Gate.Custom _ ->
+        ())
+    (Circuit.flatten circuit);
+  Hashtbl.iter
+    (fun qubit kind ->
+      check_bool
+        (Printf.sprintf "first single-qubit gate on %d is T" qubit)
+        true (kind = Gate.T))
+    first_sq
+
+let test_matches_dense () =
+  let circuit = Supremacy.circuit ~seed:7 ~rows:2 ~cols:3 ~cycles:10 () in
+  check_cnum_array "supremacy instance vs dense"
+    (dense_state_of_circuit circuit)
+    (dd_state_of_circuit circuit)
+
+let test_state_grows () =
+  (* these circuits are designed to entangle: DD sizes must grow well
+     beyond linear (the regime of the paper's Fig. 5) *)
+  let circuit = Supremacy.circuit ~seed:1 ~rows:4 ~cols:4 ~cycles:12 () in
+  let engine = Dd_sim.Engine.create 16 in
+  Dd_sim.Engine.run engine circuit;
+  check_bool "entangled state is much bigger than linear" true
+    (Dd_sim.Engine.state_node_count engine > 64)
+
+let suite =
+  [
+    Alcotest.test_case "layer_pairs_adjacent" `Quick
+      test_layer_pairs_adjacent;
+    Alcotest.test_case "layer_disjoint" `Quick test_layer_disjoint;
+    Alcotest.test_case "all_edges_covered" `Quick test_all_edges_covered;
+    Alcotest.test_case "layers_cycle" `Quick test_layers_cycle;
+    Alcotest.test_case "circuit_shape" `Quick test_circuit_shape;
+    Alcotest.test_case "deterministic_per_seed" `Quick
+      test_deterministic_per_seed;
+    Alcotest.test_case "seed_changes_instance" `Quick
+      test_seed_changes_instance;
+    Alcotest.test_case "t_before_sx_sy" `Quick test_t_before_sx_sy;
+    Alcotest.test_case "matches_dense" `Quick test_matches_dense;
+    Alcotest.test_case "state_grows" `Quick test_state_grows;
+  ]

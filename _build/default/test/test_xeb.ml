@@ -1,0 +1,57 @@
+open Util
+
+let prepared_supremacy () =
+  let circuit = Supremacy.circuit ~seed:4 ~rows:3 ~cols:3 ~cycles:14 () in
+  let engine = Dd_sim.Engine.create 9 in
+  Dd_sim.Engine.run engine circuit;
+  engine
+
+let test_ideal_sampler_scores_high () =
+  let engine = prepared_supremacy () in
+  let score = Xeb.sample_and_score ~shots:2000 engine in
+  check_bool
+    (Printf.sprintf "ideal sampler scores near 1 (got %.3f)" score)
+    true
+    (score > 0.5 && score < 1.6)
+
+let test_uniform_sampler_scores_zero () =
+  let engine = prepared_supremacy () in
+  let score = Xeb.uniform_score ~shots:2000 engine in
+  check_bool
+    (Printf.sprintf "uniform sampler scores near 0 (got %.3f)" score)
+    true
+    (abs_float score < 0.25)
+
+let test_basis_state_extremes () =
+  (* for a basis state, sampling it gives the maximal score 2^n - 1,
+     sampling anything else gives -1 *)
+  let engine = Dd_sim.Engine.create 4 in
+  Dd_sim.Engine.apply_gate engine (Gate.x 2);
+  check_float "matching sample" (float_of_int ((1 lsl 4) - 1))
+    (Xeb.linear_fidelity engine [ 4 ]);
+  check_float "non-matching sample" (-1.) (Xeb.linear_fidelity engine [ 0 ])
+
+let test_uniform_state_scores_zero_exactly () =
+  (* on the uniform superposition every bitstring has p = 1/2^n: the score
+     is exactly 0 for any sample set *)
+  let engine = Dd_sim.Engine.create 5 in
+  List.iter (Dd_sim.Engine.apply_gate engine) (List.init 5 Gate.h);
+  check_float "uniform state" 0. (Xeb.linear_fidelity engine [ 0; 7; 31; 12 ])
+
+let test_empty_samples_rejected () =
+  let engine = Dd_sim.Engine.create 2 in
+  Alcotest.check_raises "no samples"
+    (Invalid_argument "Xeb.linear_fidelity: no samples") (fun () ->
+      ignore (Xeb.linear_fidelity engine []))
+
+let suite =
+  [
+    Alcotest.test_case "ideal_scores_high" `Quick
+      test_ideal_sampler_scores_high;
+    Alcotest.test_case "uniform_scores_zero" `Quick
+      test_uniform_sampler_scores_zero;
+    Alcotest.test_case "basis_extremes" `Quick test_basis_state_extremes;
+    Alcotest.test_case "uniform_state_zero" `Quick
+      test_uniform_state_scores_zero_exactly;
+    Alcotest.test_case "empty_rejected" `Quick test_empty_samples_rejected;
+  ]
