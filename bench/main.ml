@@ -7,7 +7,7 @@
      Table I  - grover benchmarks: sota / general / DD-repeating
      Table II - shor benchmarks: sota / general / DD-construct
 
-   Usage: dune exec bench/main.exe [-- fig5|fig8|fig9|table1|table2|ablation|backends|bechamel]*
+   Usage: dune exec bench/main.exe [-- fig5|fig8|fig9|table1|table2|ablation|backends|guard|bechamel]*
                                    [-- --paper]
 
    With no arguments every experiment runs on default (laptop-scale)
@@ -504,6 +504,60 @@ let backends () =
      paper's combination strategies matter.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Guard overhead: the resilience layer must be zero-cost when off      *)
+(* ------------------------------------------------------------------ *)
+
+let guard_overhead () =
+  Printf.printf "\n=== Guard overhead (resource-governed runtime) ===\n";
+  Printf.printf
+    "(budget checks run between multiplications; with no budgets set they \
+     must cost nothing measurable)\n";
+  let circuit = Supremacy.circuit ~rows:4 ~cols:4 ~cycles:8 () in
+  let n = 16 in
+  let strategy = Dd_sim.Strategy.K_operations 8 in
+  let best runner =
+    let t () = snd (wall runner) in
+    min (t ()) (min (t ()) (t ()))
+  in
+  let time_with ?guard () =
+    best (fun () ->
+        let engine = Dd_sim.Engine.create n in
+        Dd_sim.Engine.run ~strategy ?guard engine circuit)
+  in
+  let unguarded = time_with () in
+  let explicit_none = time_with ~guard:Dd_sim.Guard.none () in
+  let armed =
+    time_with
+      ~guard:
+        (Dd_sim.Guard.make ~deadline:3600. ~norm_tolerance:0.5
+           ~gc_high_water:max_int ~max_live_nodes:max_int ())
+      ()
+  in
+  Printf.printf
+    "  supremacy 4x4 d8, k:8:\n\
+    \    no guard argument      %8.3f s\n\
+    \    Guard.none             %8.3f s   (%.2fx)\n\
+    \    all budgets armed,     %8.3f s   (%.2fx)\n\
+    \    none binding\n"
+    unguarded explicit_none
+    (explicit_none /. unguarded)
+    armed (armed /. unguarded);
+  (* graceful degradation at work: a tight combined-matrix budget turns
+     combination windows into sequential tails instead of failures *)
+  let fallback_engine = Dd_sim.Engine.create n in
+  let (), fallback_seconds =
+    wall (fun () ->
+        Dd_sim.Engine.run ~strategy
+          ~guard:(Dd_sim.Guard.make ~max_matrix_nodes:16 ())
+          fallback_engine circuit)
+  in
+  let stats = Dd_sim.Engine.stats fallback_engine in
+  Printf.printf
+    "    16-node matrix budget  %8.3f s   (%d windows fell back to \
+     sequential; state exact)\n"
+    fallback_seconds stats.Dd_sim.Sim_stats.fallbacks
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure            *)
 (* ------------------------------------------------------------------ *)
 
@@ -601,5 +655,6 @@ let () =
   timed "table2" (fun () -> table2 ~paper ());
   timed "ablation" (fun () -> ablation ());
   timed "backends" (fun () -> backends ());
+  timed "guard" (fun () -> guard_overhead ());
   timed "bechamel" (fun () -> bechamel_suite ());
   Printf.printf "\ndone.\n"

@@ -44,6 +44,122 @@ let samples_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print simulation statistics.")
 
+(* resource budgets and checkpointing, shared by run / simulate *)
+
+let max_nodes_arg =
+  let doc =
+    "Live-node budget: abort with a structured error when the DD package \
+     holds more than $(docv) live nodes (one automatic garbage collection \
+     is attempted first)."
+  in
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-nodes" ] ~docv:"N" ~doc)
+
+let max_matrix_arg =
+  let doc =
+    "Combined-matrix budget: when a combination window's partial product \
+     exceeds $(docv) nodes, flush it and apply the rest of the window \
+     sequentially instead of aborting (counted as fallbacks in --stats)."
+  in
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-matrix" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Wall-clock budget in seconds; exceeding it aborts with a structured \
+     error (after writing a checkpoint when --checkpoint is given)."
+  in
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let auto_gc_arg =
+  let doc =
+    "Collect garbage automatically whenever the package's live node count \
+     exceeds $(docv)."
+  in
+  Arg.(
+    value & opt (some int) None
+    & info [ "auto-gc" ] ~docv:"N" ~doc)
+
+let norm_tol_arg =
+  let doc =
+    "Renormalise the state whenever its norm drifts more than $(docv) \
+     from 1; a norm that degenerates to zero aborts with a structured \
+     error."
+  in
+  Arg.(
+    value & opt (some float) None
+    & info [ "norm-tol" ] ~docv:"TOL" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Write resumable checkpoints to $(docv): periodically (see \
+     --checkpoint-every), at the end of the run, and immediately before \
+     any budget abort.  Resume with --resume."
+  in
+  Arg.(
+    value & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Checkpoint every $(docv) applied gates (with --checkpoint)." in
+  Arg.(
+    value & opt int 1024
+    & info [ "checkpoint-every" ] ~docv:"GATES" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from a checkpoint $(docv) written by --checkpoint: restores \
+     the state vector, RNG and statistics, then skips the gates already \
+     applied."
+  in
+  Arg.(
+    value & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let guard_of_options max_nodes max_matrix deadline norm_tol auto_gc =
+  Dd_sim.Guard.make ?max_live_nodes:max_nodes ?max_matrix_nodes:max_matrix
+    ?deadline ?norm_tolerance:norm_tol ?gc_high_water:auto_gc ()
+
+let guarded_run ?(use_repeating = false) engine circuit ~strategy ~guard
+    ~checkpoint ~checkpoint_every ~resume =
+  let start_gate =
+    match resume with
+    | None -> 0
+    | Some path ->
+      let loaded =
+        Dd_sim.Checkpoint.load (Dd_sim.Engine.context engine) ~path
+      in
+      let start = Dd_sim.Checkpoint.restore engine loaded in
+      Printf.printf "resumed from %s at gate %d\n" path start;
+      start
+  in
+  let on_checkpoint =
+    Option.map
+      (fun path ~gate_index ->
+        Dd_sim.Checkpoint.save engine ~strategy ~gate_index ~path)
+      checkpoint
+  in
+  Dd_sim.Engine.run ~strategy ~use_repeating ~guard ~checkpoint_every
+    ?on_checkpoint ~start_gate engine circuit
+
+(* budget aborts and bad checkpoints are expected outcomes, not crashes:
+   report them on stderr with a distinct exit code *)
+let with_structured_errors f =
+  try f () with
+  | Dd_sim.Error.Error e ->
+    Printf.eprintf "ddsim: %s\n" (Dd_sim.Error.to_string e);
+    exit 3
+  | Qasm.Parse_error { line; message } ->
+    Printf.eprintf "ddsim: parse error at line %d: %s\n" line message;
+    exit 2
+  | Invalid_argument message ->
+    Printf.eprintf "ddsim: %s\n" message;
+    exit 2
+
 (* circuit selection shared by run / export / dot *)
 
 let algo_arg =
@@ -157,7 +273,9 @@ let construct_arg =
 
 let run_cmd =
   let action algo qubits marked modulus base rows cols cycles gates seed
-      strategy repeating construct samples stats =
+      strategy repeating construct samples stats max_nodes max_matrix
+      deadline norm_tol auto_gc checkpoint checkpoint_every resume =
+    with_structured_errors @@ fun () ->
     if algo = "shor" then run_shor modulus base strategy construct
     else begin
       let circuit =
@@ -165,8 +283,12 @@ let run_cmd =
       in
       Format.printf "%a@." Circuit.pp circuit;
       let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
+      let guard =
+        guard_of_options max_nodes max_matrix deadline norm_tol auto_gc
+      in
       let start = Unix.gettimeofday () in
-      Dd_sim.Engine.run ~strategy ~use_repeating:repeating engine circuit;
+      guarded_run ~use_repeating:repeating engine circuit ~strategy ~guard
+        ~checkpoint ~checkpoint_every ~resume;
       finish engine samples stats (Unix.gettimeofday () -. start)
     end
   in
@@ -175,7 +297,9 @@ let run_cmd =
       const action $ algo_arg $ qubits_arg $ marked_arg $ modulus_arg
       $ base_arg $ rows_arg $ cols_arg $ cycles_arg $ gates_arg $ seed_arg
       $ strategy_arg $ repeating_arg $ construct_arg $ samples_arg
-      $ stats_arg)
+      $ stats_arg $ max_nodes_arg $ max_matrix_arg $ deadline_arg
+      $ norm_tol_arg $ auto_gc_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a built-in benchmark circuit.") term
 
@@ -196,7 +320,9 @@ let detect_repeats_arg =
            DD-repeating treatment to them.")
 
 let simulate_cmd =
-  let action file strategy seed samples stats detect =
+  let action file strategy seed samples stats detect max_nodes max_matrix
+      deadline norm_tol auto_gc checkpoint checkpoint_every resume =
+    with_structured_errors @@ fun () ->
     let source =
       let ic = open_in file in
       let length = in_channel_length ic in
@@ -208,14 +334,20 @@ let simulate_cmd =
     let circuit = if detect then Repeats.detect circuit else circuit in
     Format.printf "%a@." Circuit.pp circuit;
     let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
+    let guard =
+      guard_of_options max_nodes max_matrix deadline norm_tol auto_gc
+    in
     let start = Unix.gettimeofday () in
-    Dd_sim.Engine.run ~strategy ~use_repeating:detect engine circuit;
+    guarded_run ~use_repeating:detect engine circuit ~strategy ~guard
+      ~checkpoint ~checkpoint_every ~resume;
     finish engine samples stats (Unix.gettimeofday () -. start)
   in
   let term =
     Term.(
       const action $ qasm_file_arg $ strategy_arg $ seed_arg $ samples_arg
-      $ stats_arg $ detect_repeats_arg)
+      $ stats_arg $ detect_repeats_arg $ max_nodes_arg $ max_matrix_arg
+      $ deadline_arg $ norm_tol_arg $ auto_gc_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate an OpenQASM 2.0 file.") term
 
@@ -282,6 +414,7 @@ let read_source file =
 
 let optimize_cmd =
   let action file =
+    with_structured_errors @@ fun () ->
     let circuit = Qasm.of_string ~name:file (read_source file) in
     let optimized = Optimize.optimize circuit in
     Printf.eprintf "%d gates -> %d gates (verified equivalent: %b)\n"
@@ -309,6 +442,7 @@ let second_file_arg =
 
 let equiv_cmd =
   let action file_a file_b =
+    with_structured_errors @@ fun () ->
     let a = Qasm.of_string ~name:file_a (read_source file_a) in
     let b = Qasm.of_string ~name:file_b (read_source file_b) in
     match Dd_sim.Equivalence.check a b with

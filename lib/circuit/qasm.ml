@@ -179,13 +179,37 @@ let tokenize source =
   done;
   List.rev !tokens
 
-type parser_state = { mutable tokens : (token * int) list }
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Number v -> Printf.sprintf "number %g" v
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Comma -> "','"
+  | Semicolon -> "';'"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Arrow -> "'->'"
+  | Str s -> Printf.sprintf "string %S" s
+
+(* [last_line] remembers the line of the most recently consumed token, so
+   an error at end of input (truncated file) is reported at the final line
+   of the source rather than at a meaningless line 0. *)
+type parser_state = {
+  mutable tokens : (token * int) list;
+  mutable last_line : int;
+}
 
 let peek state =
   match state.tokens with [] -> None | (t, _) :: _ -> Some t
 
 let current_line state =
-  match state.tokens with [] -> 0 | (_, l) :: _ -> l
+  match state.tokens with
+  | [] -> state.last_line
+  | (_, l) :: _ -> l
 
 let fail state message =
   raise (Parse_error { line = current_line state; message })
@@ -193,13 +217,18 @@ let fail state message =
 let advance state =
   match state.tokens with
   | [] -> fail state "unexpected end of input"
-  | (t, _) :: rest ->
+  | (t, l) :: rest ->
     state.tokens <- rest;
+    state.last_line <- l;
     t
 
 let expect state token message =
-  let got = advance state in
-  if got <> token then fail state message
+  match state.tokens with
+  | [] -> fail state (message ^ " (got end of input)")
+  | _ ->
+    let got = advance state in
+    if got <> token then
+      fail state (Printf.sprintf "%s (got %s)" message (token_to_string got))
 
 (* expression := term (('+'|'-') term)*
    term := factor (('*'|'/') factor)*
@@ -260,23 +289,28 @@ and parse_factor state =
   | Arrow | Str _ ->
     fail state "malformed expression"
 
-let parse_qubit_ref state register =
+let parse_qubit_ref state register ~size =
   match advance state with
   | Ident name when name = register ->
     expect state Lbracket "expected [";
     let index =
       match advance state with
-      | Number v -> int_of_float v
-      | Ident _ | Lparen | Rparen | Lbracket | Rbracket | Comma | Semicolon
-      | Plus | Minus | Star | Slash | Arrow | Str _ ->
-        fail state "expected qubit index"
+      | Number v when Float.is_integer v -> int_of_float v
+      | Number v ->
+        fail state (Printf.sprintf "qubit index %g is not an integer" v)
+      | other ->
+        fail state ("expected qubit index, got " ^ token_to_string other)
     in
     expect state Rbracket "expected ]";
+    if index < 0 || index >= size then
+      fail state
+        (Printf.sprintf
+           "qubit index %d out of range (register %s has %d qubits)" index
+           register size);
     index
   | Ident other -> fail state ("unknown register: " ^ other)
-  | Number _ | Lparen | Rparen | Lbracket | Rbracket | Comma | Semicolon
-  | Plus | Minus | Star | Slash | Arrow | Str _ ->
-    fail state "expected qubit reference"
+  | other ->
+    fail state ("expected qubit reference, got " ^ token_to_string other)
 
 let skip_statement state =
   let rec loop () =
@@ -358,7 +392,7 @@ let gate_of_spelling state spelling params qubits =
   | other -> fail state ("unsupported gate: " ^ other)
 
 let of_string ?(name = "qasm") source =
-  let state = { tokens = tokenize source } in
+  let state = { tokens = tokenize source; last_line = 1 } in
   let register = ref None in
   let qubits = ref 0 in
   let gates = ref [] in
@@ -377,15 +411,17 @@ let of_string ?(name = "qasm") source =
         register := Some reg_name;
         expect state Lbracket "expected [";
         (match advance state with
-        | Number v -> qubits := int_of_float v
-        | Ident _ | Lparen | Rparen | Lbracket | Rbracket | Comma | Semicolon
-        | Plus | Minus | Star | Slash | Arrow | Str _ ->
-          fail state "expected register size");
+        | Number v when Float.is_integer v && v >= 1. ->
+          qubits := int_of_float v
+        | Number v ->
+          fail state
+            (Printf.sprintf "register size %g is not a positive integer" v)
+        | other ->
+          fail state ("expected register size, got " ^ token_to_string other));
         expect state Rbracket "expected ]";
         expect state Semicolon "expected ;"
-      | Number _ | Lparen | Rparen | Lbracket | Rbracket | Comma | Semicolon
-      | Plus | Minus | Star | Slash | Arrow | Str _ ->
-        fail state "expected register name");
+      | other ->
+        fail state ("expected register name, got " ^ token_to_string other));
       loop ()
     | Some (Ident spelling) ->
       ignore (advance state);
@@ -415,7 +451,7 @@ let of_string ?(name = "qasm") source =
           []
       in
       let rec collect_qubits acc =
-        let q = parse_qubit_ref state reg in
+        let q = parse_qubit_ref state reg ~size:!qubits in
         match advance state with
         | Comma -> collect_qubits (q :: acc)
         | Semicolon -> List.rev (q :: acc)
@@ -432,6 +468,5 @@ let of_string ?(name = "qasm") source =
       fail state "expected statement"
   in
   loop ();
-  if !qubits <= 0 then
-    raise (Parse_error { line = 0; message = "no qreg declaration" });
+  if !qubits <= 0 then fail state "no qreg declaration";
   Circuit.of_gates ~name ~qubits:!qubits (List.rev !gates)

@@ -8,7 +8,13 @@
     {!Unsupported}. *)
 
 exception Unsupported of string
+
 exception Parse_error of { line : int; message : string }
+(** Malformed input.  [line] locates the offending token (for a truncated
+    file, the last line of the source); [message] names what was expected
+    and the token actually found.  Out-of-range qubit indices (against the
+    declared [qreg] size), non-integer indices and degenerate register
+    sizes are rejected here, at parse time. *)
 
 val to_string : Circuit.t -> string
 (** OpenQASM 2.0 source for the circuit (repeat blocks are unrolled). *)

@@ -1,0 +1,167 @@
+let format_magic = "ddsim-checkpoint"
+let format_version = 1
+
+type t = {
+  qubits : int;
+  gate_index : int;
+  strategy : Strategy.t;
+  state : Dd.Vdd.edge;
+  rng : Random.State.t;
+  stats : Sim_stats.t;
+}
+
+let snapshot engine ~strategy ~gate_index =
+  {
+    qubits = Engine.qubits engine;
+    gate_index;
+    strategy;
+    state = Engine.state engine;
+    rng = Random.State.copy (Engine.rng engine);
+    stats = Sim_stats.copy (Engine.stats engine);
+  }
+
+(* The RNG state has no stable textual form of its own; Marshal gives a
+   byte-exact snapshot, hex keeps the checkpoint file plain text. *)
+let hex_encode bytes =
+  let buffer = Buffer.create (2 * String.length bytes) in
+  String.iter
+    (fun c -> Buffer.add_string buffer (Printf.sprintf "%02x" (Char.code c)))
+    bytes;
+  Buffer.contents buffer
+
+let invalid ~source message =
+  Error.raise_error (Error.Invalid_checkpoint { source; message })
+
+let hex_decode ~source text =
+  let n = String.length text in
+  if n mod 2 <> 0 then invalid ~source "odd-length hex field";
+  String.init (n / 2) (fun i ->
+      match int_of_string_opt ("0x" ^ String.sub text (2 * i) 2) with
+      | Some code -> Char.chr code
+      | None -> invalid ~source "malformed hex field")
+
+let to_string checkpoint =
+  let stats = checkpoint.stats in
+  String.concat "\n"
+    [
+      Printf.sprintf "%s %d" format_magic format_version;
+      Printf.sprintf "qubits %d" checkpoint.qubits;
+      Printf.sprintf "gate_index %d" checkpoint.gate_index;
+      Printf.sprintf "strategy %s" (Strategy.to_string checkpoint.strategy);
+      Printf.sprintf "rng %s"
+        (hex_encode (Marshal.to_string checkpoint.rng []));
+      Printf.sprintf "stats %d %d %d %d %d %d %d %d %d %d"
+        stats.Sim_stats.mat_vec_mults stats.Sim_stats.mat_mat_mults
+        stats.Sim_stats.gates_seen stats.Sim_stats.combined_applications
+        stats.Sim_stats.peak_state_nodes stats.Sim_stats.peak_matrix_nodes
+        stats.Sim_stats.fallbacks stats.Sim_stats.auto_gcs
+        stats.Sim_stats.renormalizations stats.Sim_stats.checkpoints_written;
+      "state";
+      Dd.Serialize.vector_to_string checkpoint.state;
+    ]
+
+let of_string context ?(source = "<string>") text =
+  let lines = String.split_on_char '\n' text in
+  let field ~name line =
+    let prefix = name ^ " " in
+    let plen = String.length prefix in
+    if String.length line > plen && String.sub line 0 plen = prefix then
+      String.sub line plen (String.length line - plen)
+    else
+      invalid ~source
+        (Printf.sprintf "expected %S line, got %S" name line)
+  in
+  let int_field ~name line =
+    let raw = field ~name line in
+    match int_of_string_opt raw with
+    | Some v -> v
+    | None ->
+      invalid ~source (Printf.sprintf "%s is not an integer: %S" name raw)
+  in
+  match lines with
+  | header :: qubits :: gate_index :: strategy :: rng :: stats :: marker
+    :: state_lines ->
+    if header <> Printf.sprintf "%s %d" format_magic format_version then
+      invalid ~source (Printf.sprintf "bad header %S" header);
+    let qubits = int_field ~name:"qubits" qubits in
+    if qubits < 1 then invalid ~source "qubits must be >= 1";
+    let gate_index = int_field ~name:"gate_index" gate_index in
+    if gate_index < 0 then invalid ~source "gate_index must be >= 0";
+    let strategy =
+      match Strategy.of_string (field ~name:"strategy" strategy) with
+      | Ok s -> s
+      | Error message -> invalid ~source message
+    in
+    let rng =
+      let bytes = hex_decode ~source (field ~name:"rng" rng) in
+      try (Marshal.from_string bytes 0 : Random.State.t)
+      with Failure message ->
+        invalid ~source (Printf.sprintf "bad rng snapshot: %s" message)
+    in
+    let stats_record = Sim_stats.create () in
+    (match
+       field ~name:"stats" stats
+       |> String.split_on_char ' '
+       |> List.map (fun raw ->
+              match int_of_string_opt raw with
+              | Some v -> v
+              | None ->
+                invalid ~source
+                  (Printf.sprintf "stats field is not an integer: %S" raw))
+     with
+    | [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw ] ->
+      stats_record.Sim_stats.mat_vec_mults <- mv;
+      stats_record.Sim_stats.mat_mat_mults <- mm;
+      stats_record.Sim_stats.gates_seen <- gs;
+      stats_record.Sim_stats.combined_applications <- ca;
+      stats_record.Sim_stats.peak_state_nodes <- ps;
+      stats_record.Sim_stats.peak_matrix_nodes <- pm;
+      stats_record.Sim_stats.fallbacks <- fb;
+      stats_record.Sim_stats.auto_gcs <- gc;
+      stats_record.Sim_stats.renormalizations <- rn;
+      stats_record.Sim_stats.checkpoints_written <- cw
+    | _ -> invalid ~source "stats line must carry exactly 10 integers");
+    if marker <> "state" then
+      invalid ~source (Printf.sprintf "expected \"state\" marker, got %S" marker);
+    let state =
+      let body = String.concat "\n" state_lines in
+      try Dd.Serialize.vector_of_string context body with
+      | Dd.Dd_error.Error e ->
+        invalid ~source (Dd.Dd_error.to_string e)
+      | Failure message -> invalid ~source message
+    in
+    if Dd.Types.v_height state <> qubits then
+      invalid ~source
+        (Printf.sprintf "state has height %d, expected %d qubits"
+           (Dd.Types.v_height state) qubits);
+    { qubits; gate_index; strategy; state; rng; stats = stats_record }
+  | _ -> invalid ~source "truncated checkpoint"
+
+let save engine ~strategy ~gate_index ~path =
+  let checkpoint = snapshot engine ~strategy ~gate_index in
+  (* write-then-rename, so an interrupted save never clobbers the previous
+     good checkpoint with a torn file *)
+  let temporary = path ^ ".tmp" in
+  Dd.Serialize.write_file temporary (to_string checkpoint ^ "\n");
+  Sys.rename temporary path
+
+let load context ~path =
+  let text =
+    try Dd.Serialize.read_file path
+    with Sys_error message -> invalid ~source:path message
+  in
+  of_string context ~source:path text
+
+let restore engine checkpoint =
+  if checkpoint.qubits <> Engine.qubits engine then
+    Error.raise_error
+      (Error.Width_mismatch
+         {
+           what = "Checkpoint.restore";
+           expected = Engine.qubits engine;
+           actual = checkpoint.qubits;
+         });
+  Engine.set_state engine checkpoint.state;
+  Engine.set_rng engine (Random.State.copy checkpoint.rng);
+  Sim_stats.assign (Engine.stats engine) checkpoint.stats;
+  checkpoint.gate_index

@@ -1,0 +1,57 @@
+(** Checkpoint / resume for simulation runs.
+
+    A checkpoint is a plain-text snapshot of everything {!Engine.run} needs
+    to continue exactly where it stopped: the state vector DD (via
+    {!Dd.Serialize}), the number of gates already applied, the combination
+    strategy, the measurement RNG state and the statistics counters.
+    Because loading re-canonicalises the DD, a checkpoint written from one
+    context can be restored into a fresh one — the normal case after the
+    original process died.
+
+    Typical wiring:
+    {[
+      (* producer: snapshot at every checkpoint boundary *)
+      Engine.run engine circuit ~strategy
+        ~guard ~checkpoint_every:256
+        ~on_checkpoint:(fun ~gate_index ->
+            Checkpoint.save engine ~strategy ~gate_index ~path);
+
+      (* consumer: resume after an interruption *)
+      let cp = Checkpoint.load ctx ~path in
+      let start_gate = Checkpoint.restore engine cp in
+      Engine.run engine circuit ~strategy:cp.strategy ~start_gate
+    ]} *)
+
+type t = {
+  qubits : int;
+  gate_index : int;  (** gates (application order) reflected in [state] *)
+  strategy : Strategy.t;
+  state : Dd.Vdd.edge;
+  rng : Random.State.t;
+  stats : Sim_stats.t;
+}
+
+val snapshot : Engine.t -> strategy:Strategy.t -> gate_index:int -> t
+(** Capture the engine's current state (the RNG and stats are copied, so
+    the snapshot is unaffected by further simulation). *)
+
+val to_string : t -> string
+
+val of_string : Dd.Context.t -> ?source:string -> string -> t
+(** Parse a checkpoint, re-canonicalising the state DD into [context].
+    Raises {!Error.Error} ([Invalid_checkpoint]) on any malformed input;
+    [source] names the origin in the error (default ["<string>"]). *)
+
+val save : Engine.t -> strategy:Strategy.t -> gate_index:int -> path:string -> unit
+(** {!snapshot} then write to [path] (write-then-rename, so a crash during
+    saving never corrupts an existing checkpoint). *)
+
+val load : Dd.Context.t -> path:string -> t
+(** Read and parse [path].  Raises {!Error.Error} ([Invalid_checkpoint]) —
+    also for I/O failures. *)
+
+val restore : Engine.t -> t -> int
+(** Install the checkpoint's state, RNG and statistics into the engine and
+    return its [gate_index] — the value to pass as [?start_gate] to
+    {!Engine.run}.  Raises {!Error.Error} ([Width_mismatch]) when the
+    checkpoint's width differs from the engine's. *)

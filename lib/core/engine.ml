@@ -4,7 +4,7 @@ type t = {
   context : Dd.Context.t;
   n : int;
   mutable state_edge : Dd.Vdd.edge;
-  rng_state : Random.State.t;
+  mutable rng_state : Random.State.t;
   stats : Sim_stats.t;
   mutable track_peaks : bool;
 }
@@ -27,11 +27,18 @@ let context engine = engine.context
 let qubits engine = engine.n
 let stats engine = engine.stats
 let rng engine = engine.rng_state
+let set_rng engine rng = engine.rng_state <- rng
 let state engine = engine.state_edge
 
 let set_state engine edge =
   if Dd.Types.v_height edge <> engine.n then
-    invalid_arg "Engine.set_state: height mismatch";
+    Error.raise_error
+      (Error.Width_mismatch
+         {
+           what = "Engine.set_state";
+           expected = engine.n;
+           actual = Dd.Types.v_height edge;
+         });
   engine.state_edge <- edge
 
 let reset engine =
@@ -89,14 +96,133 @@ let combine engine gates =
 (* Window-combination driver shared by the k-operations and max-size
    strategies: gates accumulate into a pending product (mat-mat
    multiplications); the product is flushed onto the state (one mat-vec)
-   when the strategy's bound is reached or the gate stream ends. *)
-let run ?(strategy = Strategy.Sequential) ?(use_repeating = false) engine
-    circuit =
+   when the strategy's bound is reached or the gate stream ends.
+
+   When a [Guard.t] is supplied, budgets are enforced between
+   multiplications: an over-budget partial product degrades the window to
+   sequential application instead of dying, live-node pressure triggers
+   automatic garbage collection, norm drift triggers renormalisation, and
+   deadline / memory exhaustion aborts with a structured {!Error.Error}
+   (after forcing a checkpoint when one is configured, so the run can be
+   resumed from where it stopped). *)
+let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
+    ?(guard = Guard.none) ?(checkpoint_every = 1024) ?on_checkpoint
+    ?(start_gate = 0) engine circuit =
   Strategy.validate strategy;
+  if start_gate < 0 then invalid_arg "Engine.run: negative start_gate";
+  if checkpoint_every < 1 then
+    invalid_arg "Engine.run: checkpoint_every must be >= 1";
   if Circuit.(circuit.qubits) <> engine.n then
-    invalid_arg "Engine.run: circuit width does not match engine";
+    Error.raise_error
+      (Error.Width_mismatch
+         {
+           what = "Engine.run";
+           expected = engine.n;
+           actual = Circuit.(circuit.qubits);
+         });
+  let ctx = engine.context in
+  let guarded = not (Guard.is_none guard) in
   let pending = ref None in
   let pending_count = ref 0 in
+  (* gates whose effect is in the state; the resume point of checkpoints *)
+  let applied = ref start_gate in
+  (* gates seen in application order, for skipping on resume *)
+  let cursor = ref 0 in
+  (* > 0 while a breached window's remaining gates go through sequentially *)
+  let fallback_left = ref 0 in
+  (* combined Repeat-block matrix, rooted during its application loop so
+     an automatic GC cannot reclaim it *)
+  let block_root = ref None in
+  let last_checkpoint = ref start_gate in
+  let write_checkpoint ~force () =
+    match on_checkpoint with
+    | None -> ()
+    | Some callback ->
+      if force || !applied - !last_checkpoint >= checkpoint_every then begin
+        callback ~gate_index:!applied;
+        last_checkpoint := !applied;
+        engine.stats.checkpoints_written <-
+          engine.stats.checkpoints_written + 1
+      end
+  in
+  let site () =
+    {
+      Error.gate_index = !applied;
+      strategy;
+      state_nodes = Dd.Vdd.node_count engine.state_edge;
+      matrix_nodes =
+        (match !pending with
+        | Some p -> Dd.Mdd.node_count p
+        | None -> 0);
+    }
+  in
+  let abort kind ~limit ~actual =
+    write_checkpoint ~force:true ();
+    Error.raise_error
+      (Error.Budget_exhausted { kind; limit; actual; site = site () })
+  in
+  let auto_gc () =
+    let m_roots = List.filter_map (fun r -> !r) [ pending; block_root ] in
+    ignore
+      (Dd.Context.collect ctx ~v_roots:[ engine.state_edge ] ~m_roots);
+    engine.stats.auto_gcs <- engine.stats.auto_gcs + 1
+  in
+  let deadline_check =
+    match guard.Guard.deadline with
+    | None -> fun () -> ()
+    | Some limit ->
+      let t0 = Unix.gettimeofday () in
+      fun () ->
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if elapsed >= limit then abort Error.Deadline ~limit ~actual:elapsed
+  in
+  let memory_check =
+    if guard.Guard.gc_high_water = None && guard.Guard.max_live_nodes = None
+    then fun () -> ()
+    else
+      let live () =
+        Dd.Context.live_v_nodes ctx + Dd.Context.live_m_nodes ctx
+      in
+      fun () ->
+        (match guard.Guard.gc_high_water with
+        | Some high_water when live () > high_water -> auto_gc ()
+        | _ -> ());
+        (match guard.Guard.max_live_nodes with
+        | Some limit when live () > limit ->
+          (* last-ditch collection before declaring the memory budget
+             exhausted *)
+          auto_gc ();
+          let actual = live () in
+          if actual > limit then
+            abort Error.Live_nodes ~limit:(float_of_int limit)
+              ~actual:(float_of_int actual)
+        | _ -> ())
+  in
+  let norm_check =
+    match guard.Guard.norm_tolerance with
+    | None -> fun () -> ()
+    | Some tolerance ->
+      fun () ->
+        let n2 = Dd.Measure.norm2 ctx engine.state_edge in
+        if not (Float.is_finite n2) || n2 < 1e-300 then begin
+          write_checkpoint ~force:true ();
+          Error.raise_error
+            (Error.Renormalization_failed { norm2 = n2; site = site () })
+        end
+        else if Float.abs (sqrt n2 -. 1.) > tolerance then begin
+          engine.state_edge <-
+            Dd.Vdd.scale ctx
+              (Cnum.of_float (1. /. sqrt n2))
+              engine.state_edge;
+          engine.stats.renormalizations <-
+            engine.stats.renormalizations + 1
+        end
+  in
+  let matrix_over =
+    match guard.Guard.max_matrix_nodes with
+    | None -> fun _ -> false
+    | Some limit -> fun product -> Dd.Mdd.node_count product > limit
+  in
   let flush () =
     match !pending with
     | None -> ()
@@ -105,48 +231,117 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false) engine
         engine.stats.combined_applications <-
           engine.stats.combined_applications + 1;
       apply_matrix engine product;
+      applied := !applied + !pending_count;
       pending := None;
       pending_count := 0
   in
+  (* after the state advanced and no window is pending: guard the new
+     state, then maybe checkpoint — the only points where a periodic
+     checkpoint is taken, so a snapshot is always an exact gate prefix *)
+  let after_state_update () =
+    if guarded then begin
+      norm_check ();
+      memory_check ()
+    end;
+    write_checkpoint ~force:false ()
+  in
   let absorb gate =
+    if guarded then deadline_check ();
     engine.stats.gates_seen <- engine.stats.gates_seen + 1;
     let gate_matrix = gate_dd engine gate in
     match strategy with
-    | Strategy.Sequential -> apply_matrix engine gate_matrix
+    | Strategy.Sequential ->
+      apply_matrix engine gate_matrix;
+      incr applied;
+      after_state_update ()
     | Strategy.K_operations k ->
+      if !fallback_left > 0 then begin
+        decr fallback_left;
+        apply_matrix engine gate_matrix;
+        incr applied;
+        after_state_update ()
+      end
+      else begin
+        (match !pending with
+        | None ->
+          pending := Some gate_matrix;
+          pending_count := 1
+        | Some product ->
+          if matrix_over product then begin
+            (* graceful degradation: flush the oversized partial product
+               and apply the remaining gates of this window one by one *)
+            engine.stats.fallbacks <- engine.stats.fallbacks + 1;
+            fallback_left := max 0 (k - !pending_count - 1);
+            flush ();
+            apply_matrix engine gate_matrix;
+            incr applied
+          end
+          else begin
+            pending := Some (multiply_onto engine gate_matrix product);
+            incr pending_count
+          end);
+        if !pending_count >= k then flush ();
+        if Option.is_none !pending then after_state_update ()
+      end
+    | Strategy.Max_size bound ->
       (match !pending with
-      | None ->
-        pending := Some gate_matrix;
-        pending_count := 1
-      | Some product ->
-        pending := Some (multiply_onto engine gate_matrix product);
-        incr pending_count);
-      if !pending_count >= k then flush ()
-    | Strategy.Max_size bound -> (
-      match !pending with
       | None ->
         pending := Some gate_matrix;
         pending_count := 1;
         if Dd.Mdd.node_count gate_matrix > bound then flush ()
       | Some product ->
-        let product = multiply_onto engine gate_matrix product in
-        pending := Some product;
-        incr pending_count;
-        if Dd.Mdd.node_count product > bound then flush ())
+        if matrix_over product then begin
+          engine.stats.fallbacks <- engine.stats.fallbacks + 1;
+          flush ();
+          apply_matrix engine gate_matrix;
+          incr applied
+        end
+        else begin
+          let product = multiply_onto engine gate_matrix product in
+          pending := Some product;
+          incr pending_count;
+          if Dd.Mdd.node_count product > bound then flush ()
+        end);
+      if Option.is_none !pending then after_state_update ()
+  in
+  let absorb_or_skip gate =
+    if !cursor >= start_gate then absorb gate;
+    incr cursor
   in
   let rec walk op =
     match op with
-    | Circuit.Gate gate -> absorb gate
+    | Circuit.Gate gate -> absorb_or_skip gate
     | Circuit.Repeat { count; body } ->
       if use_repeating && count > 1 then begin
-        flush ();
         let gates = body_gates body in
-        let block = combine engine gates in
-        engine.stats.combined_applications <-
-          engine.stats.combined_applications + count;
-        for _ = 1 to count do
-          apply_matrix engine block
-        done
+        let len = List.length gates in
+        let todo = ref count in
+        (* skip whole repetitions that precede the resume point *)
+        while !todo > 0 && !cursor + len <= start_gate do
+          cursor := !cursor + len;
+          decr todo
+        done;
+        if !todo > 0 && !cursor < start_gate then begin
+          (* the resume point falls inside one repetition: finish that
+             repetition gate by gate *)
+          List.iter absorb_or_skip gates;
+          decr todo
+        end;
+        if !todo > 0 then begin
+          flush ();
+          let block = combine engine gates in
+          engine.stats.combined_applications <-
+            engine.stats.combined_applications + !todo;
+          block_root := Some block;
+          for _ = 1 to !todo do
+            if guarded then deadline_check ();
+            apply_matrix engine block;
+            applied := !applied + len;
+            cursor := !cursor + len;
+            after_state_update ()
+          done;
+          block_root := None
+        end
       end
       else
         for _ = 1 to count do
@@ -157,7 +352,9 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false) engine
     Circuit.flatten circuit
   in
   List.iter walk Circuit.(circuit.ops);
-  flush ()
+  flush ();
+  if Option.is_none on_checkpoint then ()
+  else if !applied > !last_checkpoint then write_checkpoint ~force:true ()
 
 let amplitude engine index =
   Dd.Vdd.amplitude engine.state_edge ~n:engine.n index

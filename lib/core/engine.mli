@@ -5,7 +5,15 @@
     a circuit under a {!Strategy.t}; with [~use_repeating:true], [Repeat]
     blocks are combined into one matrix once and re-applied (the paper's
     DD-repeating strategy).  Directly constructed unitaries (DD-construct)
-    are applied through {!apply_matrix}. *)
+    are applied through {!apply_matrix}.
+
+    A {!Guard.t} passed to {!run} turns the engine into a resource-governed
+    runtime: budgets are checked between multiplications, over-budget
+    combination windows degrade gracefully to sequential application, and
+    budget exhaustion aborts with a structured {!Error.Error} instead of
+    dying arbitrarily.  Together with the checkpoint hooks ([?on_checkpoint],
+    [?start_gate], {!set_rng}) this supports exact resumption of
+    interrupted runs — see {!Checkpoint}. *)
 
 type t
 
@@ -19,12 +27,16 @@ val qubits : t -> int
 val stats : t -> Sim_stats.t
 val rng : t -> Random.State.t
 
+val set_rng : t -> Random.State.t -> unit
+(** Replace the measurement RNG (checkpoint restoration). *)
+
 val state : t -> Dd.Vdd.edge
 (** Current state vector. *)
 
 val set_state : t -> Dd.Vdd.edge -> unit
 (** Replace the state (e.g. with a custom initial state).  The edge must
-    have the engine's height. *)
+    have the engine's height; raises {!Error.Error} ([Width_mismatch])
+    otherwise. *)
 
 val reset : t -> unit
 (** Back to [|0...0>]; statistics are reset too. *)
@@ -50,10 +62,49 @@ val combine : t -> Gate.t list -> Dd.Mdd.edge
     multiplications (the Eq. 2 step). *)
 
 val run :
-  ?strategy:Strategy.t -> ?use_repeating:bool -> t -> Circuit.t -> unit
+  ?strategy:Strategy.t ->
+  ?use_repeating:bool ->
+  ?guard:Guard.t ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(gate_index:int -> unit) ->
+  ?start_gate:int ->
+  t ->
+  Circuit.t ->
+  unit
 (** Simulate a circuit.  [strategy] defaults to [Sequential];
     [use_repeating] (default false) applies the DD-repeating treatment to
-    [Repeat] blocks. *)
+    [Repeat] blocks.  Raises {!Error.Error} ([Width_mismatch]) when the
+    circuit's width differs from the engine's.
+
+    [guard] (default {!Guard.none}, in which case every check below
+    compiles away to nothing on the hot path):
+    - [max_matrix_nodes]: a combination window whose partial product
+      exceeds the budget is flushed and the window's remaining gates are
+      applied sequentially (counted in {!Sim_stats.t.fallbacks}) — the run
+      completes with the exact same state, just less combination.
+    - [gc_high_water]: when the package's live node count exceeds the mark,
+      {!Dd.Context.collect} runs automatically (counted in [auto_gcs]).
+    - [max_live_nodes]: exceeding this budget triggers one last-ditch
+      collection, then aborts with [Budget_exhausted Live_nodes].
+    - [deadline]: wall-clock seconds from the start of [run]; exceeding it
+      aborts with [Budget_exhausted Deadline].  A deadline of [0.] aborts
+      before the first gate.
+    - [norm_tolerance]: after each state update, if [| ||state|| - 1 |]
+      exceeds the tolerance the state is renormalised (counted in
+      [renormalizations]); if the norm has degenerated to zero or a
+      non-finite value, aborts with [Renormalization_failed].
+
+    [on_checkpoint] is invoked (with the number of gates whose effect is in
+    the state) at window boundaries every [checkpoint_every] applied gates
+    (default 1024), once more at the end of the run, and — crucially —
+    immediately before any structured abort, so an interrupted run can be
+    resumed from the last consistent state.  The callback should snapshot
+    the engine (see {!Checkpoint.save}).
+
+    [start_gate] (default 0) skips that many leading gates (in application
+    order, as {!Circuit.flatten} orders them): the engine's state is
+    assumed to already contain their effect.  Used to resume from a
+    checkpoint. *)
 
 val amplitude : t -> int -> Dd_complex.Cnum.t
 val probability_one : t -> qubit:int -> float

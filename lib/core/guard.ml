@@ -1,0 +1,64 @@
+type t = {
+  max_live_nodes : int option;
+  max_matrix_nodes : int option;
+  deadline : float option;
+  norm_tolerance : float option;
+  gc_high_water : int option;
+}
+
+let none =
+  {
+    max_live_nodes = None;
+    max_matrix_nodes = None;
+    deadline = None;
+    norm_tolerance = None;
+    gc_high_water = None;
+  }
+
+let make ?max_live_nodes ?max_matrix_nodes ?deadline ?norm_tolerance
+    ?gc_high_water () =
+  let positive name = function
+    | Some v when v < 1 ->
+      invalid_arg (Printf.sprintf "Guard.make: %s must be >= 1" name)
+    | other -> other
+  in
+  (match deadline with
+  | Some d when d < 0. -> invalid_arg "Guard.make: deadline must be >= 0"
+  | _ -> ());
+  (match norm_tolerance with
+  | Some t when t <= 0. ->
+    invalid_arg "Guard.make: norm tolerance must be > 0"
+  | _ -> ());
+  {
+    max_live_nodes = positive "max_live_nodes" max_live_nodes;
+    max_matrix_nodes = positive "max_matrix_nodes" max_matrix_nodes;
+    deadline;
+    norm_tolerance;
+    gc_high_water = positive "gc_high_water" gc_high_water;
+  }
+
+let is_none guard =
+  guard.max_live_nodes = None
+  && guard.max_matrix_nodes = None
+  && guard.deadline = None
+  && guard.norm_tolerance = None
+  && guard.gc_high_water = None
+
+let to_string guard =
+  if is_none guard then "unguarded"
+  else
+    let field name to_s = function
+      | None -> None
+      | Some v -> Some (Printf.sprintf "%s=%s" name (to_s v))
+    in
+    [
+      field "max-live-nodes" string_of_int guard.max_live_nodes;
+      field "max-matrix-nodes" string_of_int guard.max_matrix_nodes;
+      field "deadline" (Printf.sprintf "%gs") guard.deadline;
+      field "norm-tol" (Printf.sprintf "%g") guard.norm_tolerance;
+      field "auto-gc" string_of_int guard.gc_high_water;
+    ]
+    |> List.filter_map (fun f -> f)
+    |> String.concat " "
+
+let pp fmt guard = Format.pp_print_string fmt (to_string guard)

@@ -1,0 +1,55 @@
+(** Resource budgets for a simulation run.
+
+    The paper's combination strategies can backfire: a combined-matrix DD
+    may explode while the state stays small, and long runs can exhaust
+    memory or a time budget with no recovery path.  A [Guard.t] bundles
+    the budgets {!Engine.run} enforces between multiplications:
+
+    - [max_matrix_nodes]: cap on the pending combined-matrix DD.  A
+      window whose partial product exceeds it is flushed and the
+      remaining gates of the window are applied sequentially (graceful
+      degradation, counted in {!Sim_stats.t.fallbacks}).
+    - [gc_high_water]: live-node count (vector + matrix unique tables)
+      above which the engine garbage-collects automatically
+      ({!Sim_stats.t.auto_gcs}).
+    - [max_live_nodes]: hard memory budget.  If the live-node count still
+      exceeds it after garbage collection, the run aborts with a
+      structured {!Error.Error} — the OOM-budget abort.
+    - [deadline]: wall-clock seconds for one {!Engine.run} call; on
+      breach the run aborts with a structured error (after writing a
+      checkpoint when one is configured, so the run can resume).
+    - [norm_tolerance]: allowed drift of the state norm from 1.  Beyond
+      it the state is renormalised ({!Sim_stats.t.renormalizations});
+      if renormalisation is impossible (zero or non-finite norm) the run
+      aborts.
+
+    All budgets are optional; {!none} disables every check and costs
+    nothing in the engine's hot loop. *)
+
+type t = private {
+  max_live_nodes : int option;
+  max_matrix_nodes : int option;
+  deadline : float option;
+  norm_tolerance : float option;
+  gc_high_water : int option;
+}
+
+val none : t
+(** No budgets; the engine's fast path. *)
+
+val make :
+  ?max_live_nodes:int ->
+  ?max_matrix_nodes:int ->
+  ?deadline:float ->
+  ?norm_tolerance:float ->
+  ?gc_high_water:int ->
+  unit ->
+  t
+(** Raises [Invalid_argument] for non-positive node budgets, a negative
+    deadline or a non-positive tolerance. *)
+
+val is_none : t -> bool
+(** [true] iff no budget is set. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

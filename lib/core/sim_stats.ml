@@ -5,6 +5,10 @@ type t = {
   mutable combined_applications : int;
   mutable peak_state_nodes : int;
   mutable peak_matrix_nodes : int;
+  mutable fallbacks : int;
+  mutable auto_gcs : int;
+  mutable renormalizations : int;
+  mutable checkpoints_written : int;
 }
 
 let create () =
@@ -15,6 +19,10 @@ let create () =
     combined_applications = 0;
     peak_state_nodes = 0;
     peak_matrix_nodes = 0;
+    fallbacks = 0;
+    auto_gcs = 0;
+    renormalizations = 0;
+    checkpoints_written = 0;
   }
 
 let reset stats =
@@ -23,9 +31,25 @@ let reset stats =
   stats.gates_seen <- 0;
   stats.combined_applications <- 0;
   stats.peak_state_nodes <- 0;
-  stats.peak_matrix_nodes <- 0
+  stats.peak_matrix_nodes <- 0;
+  stats.fallbacks <- 0;
+  stats.auto_gcs <- 0;
+  stats.renormalizations <- 0;
+  stats.checkpoints_written <- 0
 
 let copy stats = { stats with mat_vec_mults = stats.mat_vec_mults }
+
+let assign dst src =
+  dst.mat_vec_mults <- src.mat_vec_mults;
+  dst.mat_mat_mults <- src.mat_mat_mults;
+  dst.gates_seen <- src.gates_seen;
+  dst.combined_applications <- src.combined_applications;
+  dst.peak_state_nodes <- src.peak_state_nodes;
+  dst.peak_matrix_nodes <- src.peak_matrix_nodes;
+  dst.fallbacks <- src.fallbacks;
+  dst.auto_gcs <- src.auto_gcs;
+  dst.renormalizations <- src.renormalizations;
+  dst.checkpoints_written <- src.checkpoints_written
 
 let pp fmt stats =
   Format.fprintf fmt
@@ -33,4 +57,13 @@ let pp fmt stats =
      peak-state-nodes=%d peak-matrix-nodes=%d"
     stats.gates_seen stats.mat_vec_mults stats.mat_mat_mults
     stats.combined_applications stats.peak_state_nodes
-    stats.peak_matrix_nodes
+    stats.peak_matrix_nodes;
+  if
+    stats.fallbacks > 0 || stats.auto_gcs > 0
+    || stats.renormalizations > 0
+    || stats.checkpoints_written > 0
+  then
+    Format.fprintf fmt
+      " fallbacks=%d auto-gcs=%d renormalizations=%d checkpoints=%d"
+      stats.fallbacks stats.auto_gcs stats.renormalizations
+      stats.checkpoints_written

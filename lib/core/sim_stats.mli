@@ -1,7 +1,8 @@
 (** Instrumentation counters for a simulation run: how many matrix-vector
-    and matrix-matrix multiplications were performed, and (optionally) the
+    and matrix-matrix multiplications were performed, (optionally) the
     peak DD sizes encountered — the quantities Section III of the paper
-    reasons about. *)
+    reasons about — and the resilience events recorded by a guarded run
+    (see {!Guard}). *)
 
 type t = {
   mutable mat_vec_mults : int;
@@ -11,9 +12,24 @@ type t = {
       (** matrix-vector products whose matrix combined >= 2 gates *)
   mutable peak_state_nodes : int;
   mutable peak_matrix_nodes : int;
+  mutable fallbacks : int;
+      (** combination windows abandoned because the partial product
+          exceeded the guard's matrix budget; the remaining gates of each
+          such window were applied sequentially *)
+  mutable auto_gcs : int;
+      (** automatic garbage collections triggered by the guard's
+          high-water mark *)
+  mutable renormalizations : int;
+      (** norm-drift corrections applied by the guard *)
+  mutable checkpoints_written : int;
 }
 
 val create : unit -> t
 val reset : t -> unit
 val copy : t -> t
+
+val assign : t -> t -> unit
+(** [assign dst src] overwrites every counter of [dst] with [src]'s —
+    used when restoring a checkpoint. *)
+
 val pp : Format.formatter -> t -> unit

@@ -5,23 +5,37 @@ let to_string = function
   | K_operations k -> Printf.sprintf "k:%d" k
   | Max_size s -> Printf.sprintf "size:%d" s
 
+(* Degenerate parameters (k:0, size:-5, overflowing integers) are rejected
+   here, at parse time, with a descriptive message — not accepted and left
+   for the engine to choke on later. *)
 let of_string text =
-  let int_suffix prefix =
+  let suffix_of prefix =
     let plen = String.length prefix in
     if String.length text > plen && String.sub text 0 plen = prefix then
-      int_of_string_opt (String.sub text plen (String.length text - plen))
+      Some (String.sub text plen (String.length text - plen))
     else None
+  in
+  let parameter ~name ~make raw =
+    match int_of_string_opt raw with
+    | None ->
+      Error
+        (Printf.sprintf
+           "%s parameter %S is not a representable integer" name raw)
+    | Some v when v < 1 ->
+      Error (Printf.sprintf "%s must be >= 1 (got %d)" name v)
+    | Some v -> Ok (make v)
   in
   if text = "seq" || text = "sequential" then Ok Sequential
   else
-    match int_suffix "k:" with
-    | Some k when k >= 1 -> Ok (K_operations k)
-    | Some _ -> Error "k must be >= 1"
+    match suffix_of "k:" with
+    | Some raw -> parameter ~name:"k" ~make:(fun k -> K_operations k) raw
     | None -> (
-      match int_suffix "size:" with
-      | Some s when s >= 1 -> Ok (Max_size s)
-      | Some _ -> Error "size must be >= 1"
-      | None -> Error (Printf.sprintf "cannot parse strategy %S" text))
+      match suffix_of "size:" with
+      | Some raw -> parameter ~name:"size" ~make:(fun s -> Max_size s) raw
+      | None ->
+        Error
+          (Printf.sprintf
+             "cannot parse strategy %S (expected seq, k:N or size:N)" text))
 
 let pp fmt strategy = Format.pp_print_string fmt (to_string strategy)
 

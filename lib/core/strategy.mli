@@ -18,7 +18,10 @@ val to_string : t -> string
 (** ["seq"], ["k:16"], ["size:4096"]. *)
 
 val of_string : string -> (t, string) result
-(** Inverse of {!to_string}. *)
+(** Inverse of {!to_string}.  Degenerate parameters are rejected here, at
+    parse time, with a descriptive message: [k:0] and [size:-5] violate
+    the [>= 1] bound, and integers that overflow the native [int] (e.g.
+    [k:99999999999999999999]) are reported as unrepresentable. *)
 
 val pp : Format.formatter -> t -> unit
 

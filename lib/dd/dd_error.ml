@@ -1,0 +1,23 @@
+type t =
+  | Malformed_dd of { line : string option; message : string }
+  | Degenerate_state of { operation : string; message : string }
+
+exception Error of t
+
+let to_string = function
+  | Malformed_dd { line = None; message } ->
+    Printf.sprintf "malformed DD: %s" message
+  | Malformed_dd { line = Some line; message } ->
+    Printf.sprintf "malformed DD: %s in %S" message line
+  | Degenerate_state { operation; message } ->
+    Printf.sprintf "%s: %s" operation message
+
+let malformed ?line message = raise (Error (Malformed_dd { line; message }))
+
+let degenerate ~operation message =
+  raise (Error (Degenerate_state { operation; message }))
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Dd_error.Error (%s)" (to_string e))
+    | _ -> None)

@@ -1,0 +1,27 @@
+(** Structured errors of the DD package layer.
+
+    Replaces the ad-hoc [failwith]/[Invalid_argument] raises on the paths
+    that can fail mid-simulation with data the caller can act on: which
+    operation failed, and why.  Programming-error precondition checks
+    (out-of-range qubits, bad array shapes) keep raising
+    [Invalid_argument]; this module is for failures of the *data* — a
+    malformed serialised DD, a numerically degenerate state. *)
+
+type t =
+  | Malformed_dd of { line : string option; message : string }
+      (** A serialised DD could not be parsed; [line] is the offending
+          input line when one is known. *)
+  | Degenerate_state of { operation : string; message : string }
+      (** An operation met a state it cannot handle numerically (zero
+          vector, zero-probability measurement outcome). *)
+
+exception Error of t
+
+val to_string : t -> string
+
+val malformed : ?line:string -> string -> 'a
+(** [malformed ?line message] raises {!Error} with [Malformed_dd]. *)
+
+val degenerate : operation:string -> string -> 'a
+(** [degenerate ~operation message] raises {!Error} with
+    [Degenerate_state]. *)

@@ -22,7 +22,8 @@ let norm2 ctx edge =
   else Cnum.mag2 edge.vw *. node_norm ctx edge.vt
 
 let probability_one ctx edge ~qubit =
-  if v_is_zero edge then invalid_arg "Measure.probability_one: zero state";
+  if v_is_zero edge then
+    Dd_error.degenerate ~operation:"Measure.probability_one" "zero state";
   if qubit < 0 || qubit > edge.vt.level then
     invalid_arg "Measure.probability_one: qubit out of range";
   let memo = Hashtbl.create 64 in
@@ -48,7 +49,8 @@ let probability_one ctx edge ~qubit =
   Cnum.mag2 edge.vw *. mass edge.vt /. total
 
 let collapse ctx edge ~qubit ~outcome =
-  if v_is_zero edge then invalid_arg "Measure.collapse: zero state";
+  if v_is_zero edge then
+    Dd_error.degenerate ~operation:"Measure.collapse" "zero state";
   if qubit < 0 || qubit > edge.vt.level then
     invalid_arg "Measure.collapse: qubit out of range";
   let memo = Hashtbl.create 64 in
@@ -72,7 +74,9 @@ let collapse ctx edge ~qubit ~outcome =
   in
   let full = Vdd.scale ctx edge.vw (project edge.vt) in
   let p = norm2 ctx full in
-  if p < 1e-24 then invalid_arg "Measure.collapse: zero-probability outcome";
+  if p < 1e-24 then
+    Dd_error.degenerate ~operation:"Measure.collapse"
+      "zero-probability outcome";
   Vdd.scale ctx (Cnum.of_float (1. /. sqrt p)) full
 
 let measure_qubit ctx rng edge ~qubit =
@@ -81,7 +85,8 @@ let measure_qubit ctx rng edge ~qubit =
   (outcome, collapse ctx edge ~qubit ~outcome)
 
 let sample ctx rng edge =
-  if v_is_zero edge then invalid_arg "Measure.sample: zero state";
+  if v_is_zero edge then
+    Dd_error.degenerate ~operation:"Measure.sample" "zero state";
   let rec walk node acc =
     if v_is_terminal node then acc
     else

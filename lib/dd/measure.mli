@@ -12,7 +12,8 @@ val probability_one : Context.t -> Vdd.edge -> qubit:int -> float
 
 val collapse : Context.t -> Vdd.edge -> qubit:int -> outcome:bool -> Vdd.edge
 (** Project onto the given outcome and renormalise.  Raises
-    [Invalid_argument] if the outcome has (numerically) zero probability. *)
+    {!Dd_error.Error} ([Degenerate_state]) if the outcome has
+    (numerically) zero probability. *)
 
 val measure_qubit :
   Context.t -> Random.State.t -> Vdd.edge -> qubit:int -> bool * Vdd.edge

@@ -35,8 +35,17 @@ let vector_to_string edge =
 let tokens_of_line line =
   String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
 
-let parse_failure line message =
-  failwith (Printf.sprintf "Serialize: %s in %S" message line)
+let parse_failure line message = Dd_error.malformed ~line message
+
+let float_field line text =
+  match float_of_string_opt text with
+  | Some v -> v
+  | None -> parse_failure line ("bad number " ^ text)
+
+let int_field line text =
+  match int_of_string_opt text with
+  | Some v -> v
+  | None -> parse_failure line ("bad integer " ^ text)
 
 let vector_of_string ctx text =
   let lines =
@@ -45,10 +54,10 @@ let vector_of_string ctx text =
   let table : (int, Vdd.edge) Hashtbl.t = Hashtbl.create 256 in
   Hashtbl.add table 0 { vw = Cnum.one; vt = v_terminal };
   let edge_of line re im target =
-    let w = Cnum.make (float_of_string re) (float_of_string im) in
+    let w = Cnum.make (float_field line re) (float_field line im) in
     if Cnum.is_exact_zero w then v_zero
     else
-      match Hashtbl.find_opt table (int_of_string target) with
+      match Hashtbl.find_opt table (int_field line target) with
       | Some e -> Vdd.scale ctx (Context.cnum ctx w) e
       | None -> parse_failure line "forward reference"
   in
@@ -60,14 +69,14 @@ let vector_of_string ctx text =
       | [ "node"; id; level; lre; lim; lt; hre; him; ht ] ->
         let low = edge_of line lre lim lt in
         let high = edge_of line hre him ht in
-        let rebuilt = Vdd.make ctx (int_of_string level) low high in
-        Hashtbl.replace table (int_of_string id) rebuilt
+        let rebuilt = Vdd.make ctx (int_field line level) low high in
+        Hashtbl.replace table (int_field line id) rebuilt
       | [ "root"; re; im; target ] -> root := Some (edge_of line re im target)
       | _ -> parse_failure line "unrecognised line")
     lines;
   match !root with
   | Some e -> e
-  | None -> failwith "Serialize: missing root line"
+  | None -> Dd_error.malformed "missing root line"
 
 (* --- matrices --------------------------------------------------------- *)
 
@@ -106,10 +115,10 @@ let matrix_of_string ctx text =
   let table : (int, Mdd.edge) Hashtbl.t = Hashtbl.create 256 in
   Hashtbl.add table 0 { mw = Cnum.one; mt = m_terminal };
   let edge_of line re im target =
-    let w = Cnum.make (float_of_string re) (float_of_string im) in
+    let w = Cnum.make (float_field line re) (float_field line im) in
     if Cnum.is_exact_zero w then m_zero
     else
-      match Hashtbl.find_opt table (int_of_string target) with
+      match Hashtbl.find_opt table (int_field line target) with
       | Some e -> Mdd.scale ctx (Context.cnum ctx w) e
       | None -> parse_failure line "forward reference"
   in
@@ -124,14 +133,14 @@ let matrix_of_string ctx text =
         let e01 = edge_of line re01 im01 t01 in
         let e10 = edge_of line re10 im10 t10 in
         let e11 = edge_of line re11 im11 t11 in
-        let rebuilt = Mdd.make ctx (int_of_string level) e00 e01 e10 e11 in
-        Hashtbl.replace table (int_of_string id) rebuilt
+        let rebuilt = Mdd.make ctx (int_field line level) e00 e01 e10 e11 in
+        Hashtbl.replace table (int_field line id) rebuilt
       | [ "root"; re; im; target ] -> root := Some (edge_of line re im target)
       | _ -> parse_failure line "unrecognised line")
     lines;
   match !root with
   | Some e -> e
-  | None -> failwith "Serialize: missing root line"
+  | None -> Dd_error.malformed "missing root line"
 
 (* --- files ------------------------------------------------------------ *)
 

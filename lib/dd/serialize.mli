@@ -8,7 +8,7 @@
 
 val vector_to_string : Vdd.edge -> string
 val vector_of_string : Context.t -> string -> Vdd.edge
-(** Raises [Failure] on malformed input. *)
+(** Raises {!Dd_error.Error} ([Malformed_dd]) on malformed input. *)
 
 val matrix_to_string : Mdd.edge -> string
 val matrix_of_string : Context.t -> string -> Mdd.edge

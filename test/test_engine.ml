@@ -47,15 +47,19 @@ let test_reset () =
 let test_run_width_mismatch () =
   let engine = Dd_sim.Engine.create 2 in
   Alcotest.check_raises "width mismatch"
-    (Invalid_argument "Engine.run: circuit width does not match engine")
+    (Dd_sim.Error.Error
+       (Dd_sim.Error.Width_mismatch
+          { what = "Engine.run"; expected = 2; actual = 3 }))
     (fun () -> Dd_sim.Engine.run engine (Standard.ghz 3))
 
 let test_set_state_validation () =
   let engine = Dd_sim.Engine.create 3 in
   let ctx = Dd_sim.Engine.context engine in
   Alcotest.check_raises "height mismatch"
-    (Invalid_argument "Engine.set_state: height mismatch") (fun () ->
-      Dd_sim.Engine.set_state engine (Dd.Vdd.basis ctx ~n:2 0))
+    (Dd_sim.Error.Error
+       (Dd_sim.Error.Width_mismatch
+          { what = "Engine.set_state"; expected = 3; actual = 2 }))
+    (fun () -> Dd_sim.Engine.set_state engine (Dd.Vdd.basis ctx ~n:2 0))
 
 let test_measure_ghz_correlated () =
   (* GHZ measurement must give all zeros or all ones *)

@@ -12,6 +12,7 @@ let () =
       ("sparse", Test_sparse.suite);
       ("engine", Test_engine.suite);
       ("strategies", Test_strategies.suite);
+      ("guard", Test_guard.suite);
       ("qft", Test_qft.suite);
       ("ntheory", Test_ntheory.suite);
       ("grover", Test_grover.suite);

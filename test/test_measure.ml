@@ -61,7 +61,10 @@ let test_collapse_impossible () =
   let ctx = fresh_ctx () in
   let e = Dd.Vdd.basis ctx ~n:2 0 in
   Alcotest.check_raises "zero-probability collapse"
-    (Invalid_argument "Measure.collapse: zero-probability outcome")
+    (Dd.Dd_error.Error
+       (Dd.Dd_error.Degenerate_state
+          { operation = "Measure.collapse";
+            message = "zero-probability outcome" }))
     (fun () -> ignore (Dd.Measure.collapse ctx e ~qubit:1 ~outcome:true))
 
 let test_measure_qubit_deterministic () =

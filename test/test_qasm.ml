@@ -200,6 +200,54 @@ let test_parse_bad_arity () =
        false
      with Qasm.Parse_error _ -> true)
 
+(* malformed-input coverage: errors must carry the offending line and a
+   message naming what went wrong, and bad qubit indices must be caught at
+   parse time rather than corrupting the simulation *)
+
+let parse_error_of source =
+  match Qasm.of_string source with
+  | (_ : Circuit.t) -> Alcotest.fail "malformed source was accepted"
+  | exception Qasm.Parse_error { line; message } -> (line, message)
+
+let test_parse_truncated_file () =
+  let line, message = parse_error_of "OPENQASM 2.0;\nqreg q[2];\nh q[" in
+  check_int "truncated file located at its last line" 3 line;
+  check_bool "message mentions end of input" true
+    (contains_sub message "end of input")
+
+let test_parse_unknown_gate () =
+  let line, message =
+    parse_error_of "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nfrob q[0];\n"
+  in
+  check_int "unknown gate located" 4 line;
+  check_bool "message names the gate" true
+    (contains_sub message "unsupported gate: frob")
+
+let test_parse_qubit_index_out_of_range () =
+  let line, message =
+    parse_error_of "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[5];\n"
+  in
+  check_int "bad index located" 3 line;
+  check_bool "message names the index and register size" true
+    (contains_sub message "qubit index 5 out of range"
+    && contains_sub message "has 2 qubits")
+
+let test_parse_fractional_qubit_index () =
+  let _, message = parse_error_of "OPENQASM 2.0;\nqreg q[2];\nh q[0.5];\n" in
+  check_bool "fractional index rejected" true
+    (contains_sub message "not an integer")
+
+let test_parse_bad_register_size () =
+  let _, message = parse_error_of "OPENQASM 2.0;\nqreg q[0];\nh q[0];\n" in
+  check_bool "degenerate register size rejected" true
+    (contains_sub message "not a positive integer")
+
+let test_parse_error_names_token () =
+  (* expect-failures report the token actually found *)
+  let _, message = parse_error_of "OPENQASM 2.0;\nqreg q[2];\nh q 0];\n" in
+  check_bool "message shows the offending token" true
+    (contains_sub message "got")
+
 let suite =
   suite
   @ [
@@ -208,4 +256,15 @@ let suite =
       Alcotest.test_case "parse_rzz" `Quick test_parse_rzz;
       Alcotest.test_case "parse_cswap" `Quick test_parse_cswap;
       Alcotest.test_case "parse_bad_arity" `Quick test_parse_bad_arity;
+      Alcotest.test_case "parse_truncated_file" `Quick
+        test_parse_truncated_file;
+      Alcotest.test_case "parse_unknown_gate" `Quick test_parse_unknown_gate;
+      Alcotest.test_case "parse_index_out_of_range" `Quick
+        test_parse_qubit_index_out_of_range;
+      Alcotest.test_case "parse_fractional_index" `Quick
+        test_parse_fractional_qubit_index;
+      Alcotest.test_case "parse_bad_register_size" `Quick
+        test_parse_bad_register_size;
+      Alcotest.test_case "parse_error_names_token" `Quick
+        test_parse_error_names_token;
     ]

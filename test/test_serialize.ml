@@ -64,12 +64,12 @@ let test_malformed_rejected () =
     (try
        ignore (Dd.Serialize.vector_of_string ctx "nonsense 1 2 3\n");
        false
-     with Failure _ -> true);
+     with Dd.Dd_error.Error (Dd.Dd_error.Malformed_dd _) -> true);
   check_bool "missing root rejected" true
     (try
        ignore (Dd.Serialize.vector_of_string ctx "ddvec 0\n");
        false
-     with Failure _ -> true)
+     with Dd.Dd_error.Error (Dd.Dd_error.Malformed_dd _) -> true)
 
 let test_file_helpers () =
   let path = Filename.temp_file "ddsim" ".dd" in

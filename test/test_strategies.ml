@@ -152,6 +152,30 @@ let test_strategy_parsing () =
     | Error _ -> true
     | Ok _ -> false)
 
+let test_strategy_roundtrip_all () =
+  List.iter
+    (fun strategy ->
+      check_bool
+        ("round-trip " ^ Dd_sim.Strategy.to_string strategy)
+        true
+        (Dd_sim.Strategy.(of_string (to_string strategy)) = Ok strategy))
+    strategies
+
+let test_degenerate_strategy_strings_rejected () =
+  let rejected_with input expected =
+    match Dd_sim.Strategy.of_string input with
+    | Ok _ -> Alcotest.fail (input ^ " was accepted")
+    | Error message ->
+      Alcotest.(check string) (input ^ " message") expected message
+  in
+  rejected_with "k:0" "k must be >= 1 (got 0)";
+  rejected_with "size:-5" "size must be >= 1 (got -5)";
+  rejected_with "k:99999999999999999999"
+    "k parameter \"99999999999999999999\" is not a representable integer";
+  rejected_with "size:1e3"
+    "size parameter \"1e3\" is not a representable integer";
+  rejected_with "k:" "cannot parse strategy \"k:\" (expected seq, k:N or size:N)"
+
 let test_invalid_strategy_rejected () =
   let engine = Dd_sim.Engine.create 2 in
   Alcotest.check_raises "k=0"
@@ -181,6 +205,10 @@ let suite =
     Alcotest.test_case "repeating_combines_once" `Quick
       test_repeating_combines_once;
     Alcotest.test_case "strategy_parsing" `Quick test_strategy_parsing;
+    Alcotest.test_case "strategy_roundtrip_all" `Quick
+      test_strategy_roundtrip_all;
+    Alcotest.test_case "degenerate_strategy_strings" `Quick
+      test_degenerate_strategy_strings_rejected;
     Alcotest.test_case "invalid_strategy" `Quick
       test_invalid_strategy_rejected;
   ]
