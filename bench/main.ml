@@ -7,8 +7,13 @@
      Table I  - grover benchmarks: sota / general / DD-repeating
      Table II - shor benchmarks: sota / general / DD-construct
 
-   Usage: dune exec bench/main.exe [-- fig5|fig8|fig9|table1|table2|ablation|backends|guard|bechamel]*
+   Usage: dune exec bench/main.exe [-- fig5|fig8|fig9|table1|table2|ablation|backends|guard|kernel|kernel-smoke|bechamel]*
                                    [-- --paper]
+
+   [kernel] runs the shipped benchmarks/ circuits with a low GC
+   high-water mark and records per-compute-table hit rates, evictions and
+   GC pauses to BENCH_kernel.json; [kernel-smoke] is the single-run CI
+   variant.
 
    With no arguments every experiment runs on default (laptop-scale)
    instances.  [--paper] switches to the paper's instance sizes — expect
@@ -558,6 +563,123 @@ let guard_overhead () =
     fallback_seconds stats.Dd_sim.Sim_stats.fallbacks
 
 (* ------------------------------------------------------------------ *)
+(* Kernel observability: machine-readable BENCH_kernel.json             *)
+(* ------------------------------------------------------------------ *)
+
+(* One run per (shipped benchmark circuit, strategy) pair, with a low GC
+   high-water mark so the generation-aware sweeps actually execute; the
+   per-table counters and pause totals land in BENCH_kernel.json for
+   regression tracking. *)
+
+let load_benchmark name =
+  (* works both from the repository root and from _build/default/bench *)
+  let candidates =
+    [
+      Filename.concat "benchmarks" name;
+      Filename.concat "../benchmarks" name;
+      Filename.concat "../../../benchmarks" name;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> failwith (Printf.sprintf "cannot locate benchmarks/%s" name)
+  | Some path ->
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Qasm.of_string ~name text
+
+let kernel_run_json ~benchmark ~strategy =
+  let circuit = load_benchmark (benchmark ^ ".qasm") in
+  let ctx = Dd.Context.create () in
+  let engine = Dd_sim.Engine.create ~context:ctx Circuit.(circuit.qubits) in
+  Dd_sim.Engine.set_track_peaks engine true;
+  let guard = Dd_sim.Guard.make ~gc_high_water:512 () in
+  let (), seconds =
+    wall (fun () -> Dd_sim.Engine.run ~strategy ~guard engine circuit)
+  in
+  let stats = Dd_sim.Engine.stats engine in
+  let gc = Dd.Context.gc_stats ctx in
+  let table_json (s : Dd.Compute_table.stats) =
+    let rate =
+      if s.Dd.Compute_table.lookups = 0 then 0.
+      else
+        float_of_int s.Dd.Compute_table.hits
+        /. float_of_int s.Dd.Compute_table.lookups
+    in
+    Printf.sprintf
+      "{\"name\": %S, \"lookups\": %d, \"hits\": %d, \"hit_rate\": %.6f, \
+       \"stores\": %d, \"evictions\": %d, \"invalidated\": %d, \
+       \"entries\": %d}"
+      s.Dd.Compute_table.table s.Dd.Compute_table.lookups
+      s.Dd.Compute_table.hits rate s.Dd.Compute_table.stores
+      s.Dd.Compute_table.evictions s.Dd.Compute_table.invalidated
+      s.Dd.Compute_table.entries
+  in
+  let tables =
+    Dd.Context.table_stats ctx |> List.map table_json
+    |> String.concat ",\n        "
+  in
+  Printf.sprintf
+    "    {\n\
+     \      \"benchmark\": %S,\n\
+     \      \"strategy\": %S,\n\
+     \      \"wall_seconds\": %.6f,\n\
+     \      \"final_state_nodes\": %d,\n\
+     \      \"peak_state_nodes\": %d,\n\
+     \      \"peak_matrix_nodes\": %d,\n\
+     \      \"auto_gcs\": %d,\n\
+     \      \"gc_collections\": %d,\n\
+     \      \"gc_pause_seconds\": %.6f,\n\
+     \      \"gc_reclaimed_nodes\": %d,\n\
+     \      \"tables\": [\n\
+     \        %s\n\
+     \      ]\n\
+     \    }"
+    benchmark
+    (Dd_sim.Strategy.to_string strategy)
+    seconds
+    (Dd_sim.Engine.state_node_count engine)
+    stats.Dd_sim.Sim_stats.peak_state_nodes
+    stats.Dd_sim.Sim_stats.peak_matrix_nodes
+    stats.Dd_sim.Sim_stats.auto_gcs gc.Dd.Context.collections
+    gc.Dd.Context.pause_total stats.Dd_sim.Sim_stats.gc_reclaimed_nodes
+    tables
+
+let kernel ~smoke () =
+  Printf.printf "\n=== Kernel observability (BENCH_kernel.json) ===\n";
+  let benchmarks =
+    if smoke then [ "ghz_12" ]
+    else [ "ghz_12"; "qft_8"; "bv_16_42"; "random_6_80" ]
+  in
+  let strategies =
+    if smoke then [ Dd_sim.Strategy.Sequential ]
+    else [ Dd_sim.Strategy.Sequential; Dd_sim.Strategy.K_operations 4 ]
+  in
+  let runs =
+    List.concat_map
+      (fun benchmark ->
+        List.map
+          (fun strategy ->
+            Printf.printf "  %s / %s\n" benchmark
+              (Dd_sim.Strategy.to_string strategy);
+            flush stdout;
+            kernel_run_json ~benchmark ~strategy)
+          strategies)
+      benchmarks
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+       \  \"schema\": \"ddsim-kernel-bench-1\",\n\
+       \  \"runs\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" runs)
+  in
+  let oc = open_out "BENCH_kernel.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote BENCH_kernel.json (%d runs)\n" (List.length runs)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure            *)
 (* ------------------------------------------------------------------ *)
 
@@ -656,5 +778,11 @@ let () =
   timed "ablation" (fun () -> ablation ());
   timed "backends" (fun () -> backends ());
   timed "guard" (fun () -> guard_overhead ());
+  (* kernel-smoke is CI-only and never part of the default sweep *)
+  if List.mem "kernel-smoke" selected then begin
+    let (), seconds = wall (fun () -> kernel ~smoke:true ()) in
+    Printf.printf "[kernel-smoke completed in %.1f s]\n" seconds
+  end
+  else timed "kernel" (fun () -> kernel ~smoke:false ());
   timed "bechamel" (fun () -> bechamel_suite ());
   Printf.printf "\ndone.\n"

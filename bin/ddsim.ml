@@ -153,6 +153,9 @@ let with_structured_errors f =
   | Dd_sim.Error.Error e ->
     Printf.eprintf "ddsim: %s\n" (Dd_sim.Error.to_string e);
     exit 3
+  | Dd.Dd_error.Error e ->
+    Printf.eprintf "ddsim: %s\n" (Dd.Dd_error.to_string e);
+    exit 2
   | Qasm.Parse_error { line; message } ->
     Printf.eprintf "ddsim: parse error at line %d: %s\n" line message;
     exit 2
@@ -246,8 +249,11 @@ let finish engine samples stats seconds =
     done;
     print_newline ()
   end;
-  if stats then
-    Format.printf "stats: %a@." Dd_sim.Sim_stats.pp (Dd_sim.Engine.stats engine)
+  if stats then begin
+    Format.printf "stats: %a@." Dd_sim.Sim_stats.pp (Dd_sim.Engine.stats engine);
+    Format.printf "kernel:@.%a@." Dd.Context.pp_stats
+      (Dd_sim.Engine.context engine)
+  end
 
 (* --- run ---------------------------------------------------------- *)
 

@@ -1,5 +1,8 @@
 let format_magic = "ddsim-checkpoint"
-let format_version = 1
+
+(* version 2: the stats line gained gc_reclaimed_nodes and
+   gc_pause_seconds (the latter as a lossless hex float) *)
+let format_version = 2
 
 type t = {
   qubits : int;
@@ -50,12 +53,13 @@ let to_string checkpoint =
       Printf.sprintf "strategy %s" (Strategy.to_string checkpoint.strategy);
       Printf.sprintf "rng %s"
         (hex_encode (Marshal.to_string checkpoint.rng []));
-      Printf.sprintf "stats %d %d %d %d %d %d %d %d %d %d"
+      Printf.sprintf "stats %d %d %d %d %d %d %d %d %d %d %d %h"
         stats.Sim_stats.mat_vec_mults stats.Sim_stats.mat_mat_mults
         stats.Sim_stats.gates_seen stats.Sim_stats.combined_applications
         stats.Sim_stats.peak_state_nodes stats.Sim_stats.peak_matrix_nodes
         stats.Sim_stats.fallbacks stats.Sim_stats.auto_gcs
-        stats.Sim_stats.renormalizations stats.Sim_stats.checkpoints_written;
+        stats.Sim_stats.renormalizations stats.Sim_stats.checkpoints_written
+        stats.Sim_stats.gc_reclaimed_nodes stats.Sim_stats.gc_pause_seconds;
       "state";
       Dd.Serialize.vector_to_string checkpoint.state;
     ]
@@ -99,28 +103,33 @@ let of_string context ?(source = "<string>") text =
         invalid ~source (Printf.sprintf "bad rng snapshot: %s" message)
     in
     let stats_record = Sim_stats.create () in
-    (match
-       field ~name:"stats" stats
-       |> String.split_on_char ' '
-       |> List.map (fun raw ->
-              match int_of_string_opt raw with
-              | Some v -> v
-              | None ->
-                invalid ~source
-                  (Printf.sprintf "stats field is not an integer: %S" raw))
-     with
-    | [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw ] ->
-      stats_record.Sim_stats.mat_vec_mults <- mv;
-      stats_record.Sim_stats.mat_mat_mults <- mm;
-      stats_record.Sim_stats.gates_seen <- gs;
-      stats_record.Sim_stats.combined_applications <- ca;
-      stats_record.Sim_stats.peak_state_nodes <- ps;
-      stats_record.Sim_stats.peak_matrix_nodes <- pm;
-      stats_record.Sim_stats.fallbacks <- fb;
-      stats_record.Sim_stats.auto_gcs <- gc;
-      stats_record.Sim_stats.renormalizations <- rn;
-      stats_record.Sim_stats.checkpoints_written <- cw
-    | _ -> invalid ~source "stats line must carry exactly 10 integers");
+    let stats_int raw =
+      match int_of_string_opt raw with
+      | Some v -> v
+      | None ->
+        invalid ~source
+          (Printf.sprintf "stats field is not an integer: %S" raw)
+    in
+    (match field ~name:"stats" stats |> String.split_on_char ' ' with
+    | [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw; gr; gp ] ->
+      stats_record.Sim_stats.mat_vec_mults <- stats_int mv;
+      stats_record.Sim_stats.mat_mat_mults <- stats_int mm;
+      stats_record.Sim_stats.gates_seen <- stats_int gs;
+      stats_record.Sim_stats.combined_applications <- stats_int ca;
+      stats_record.Sim_stats.peak_state_nodes <- stats_int ps;
+      stats_record.Sim_stats.peak_matrix_nodes <- stats_int pm;
+      stats_record.Sim_stats.fallbacks <- stats_int fb;
+      stats_record.Sim_stats.auto_gcs <- stats_int gc;
+      stats_record.Sim_stats.renormalizations <- stats_int rn;
+      stats_record.Sim_stats.checkpoints_written <- stats_int cw;
+      stats_record.Sim_stats.gc_reclaimed_nodes <- stats_int gr;
+      stats_record.Sim_stats.gc_pause_seconds <-
+        (match float_of_string_opt gp with
+        | Some v -> v
+        | None ->
+          invalid ~source
+            (Printf.sprintf "stats field is not a float: %S" gp))
+    | _ -> invalid ~source "stats line must carry exactly 12 fields");
     if marker <> "state" then
       invalid ~source (Printf.sprintf "expected \"state\" marker, got %S" marker);
     let state =

@@ -10,7 +10,9 @@ type t = {
 }
 
 let create ?(seed = 0xDD) ?context n =
-  if n <= 0 then invalid_arg "Engine.create: need at least one qubit";
+  if n <= 0 then
+    Error.invalid_parameter ~what:"Engine.create"
+      (Printf.sprintf "need at least one qubit (got %d)" n);
   let context =
     match context with Some c -> c | None -> Dd.Context.create ()
   in
@@ -108,10 +110,16 @@ let combine engine gates =
 let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
     ?(guard = Guard.none) ?(checkpoint_every = 1024) ?on_checkpoint
     ?(start_gate = 0) engine circuit =
-  Strategy.validate strategy;
-  if start_gate < 0 then invalid_arg "Engine.run: negative start_gate";
+  (match Strategy.check strategy with
+  | Ok () -> ()
+  | Error message -> Error.invalid_parameter ~what:"Strategy" message);
+  if start_gate < 0 then
+    Error.invalid_parameter ~what:"Engine.run"
+      (Printf.sprintf "negative start_gate (%d)" start_gate);
   if checkpoint_every < 1 then
-    invalid_arg "Engine.run: checkpoint_every must be >= 1";
+    Error.invalid_parameter ~what:"Engine.run"
+      (Printf.sprintf "checkpoint_every must be >= 1 (got %d)"
+         checkpoint_every);
   if Circuit.(circuit.qubits) <> engine.n then
     Error.raise_error
       (Error.Width_mismatch
@@ -163,9 +171,15 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
   in
   let auto_gc () =
     let m_roots = List.filter_map (fun r -> !r) [ pending; block_root ] in
-    ignore
-      (Dd.Context.collect ctx ~v_roots:[ engine.state_edge ] ~m_roots);
-    engine.stats.auto_gcs <- engine.stats.auto_gcs + 1
+    let v_removed, m_removed =
+      Dd.Context.collect ctx ~v_roots:[ engine.state_edge ] ~m_roots
+    in
+    engine.stats.auto_gcs <- engine.stats.auto_gcs + 1;
+    engine.stats.gc_reclaimed_nodes <-
+      engine.stats.gc_reclaimed_nodes + v_removed + m_removed;
+    engine.stats.gc_pause_seconds <-
+      engine.stats.gc_pause_seconds
+      +. (Dd.Context.gc_stats ctx).Dd.Context.last_pause
   in
   let deadline_check =
     match guard.Guard.deadline with
@@ -389,11 +403,21 @@ let sample engine =
 
 let fidelity_dense engine reference =
   if Array.length reference <> 1 lsl engine.n then
-    invalid_arg "Engine.fidelity_dense: length mismatch";
+    Error.invalid_parameter ~what:"Engine.fidelity_dense"
+      (Printf.sprintf "reference has %d amplitudes, state has %d"
+         (Array.length reference) (1 lsl engine.n));
   let reference_edge = Dd.Vdd.of_array engine.context reference in
   let overlap = Dd.Vdd.dot engine.context reference_edge engine.state_edge in
   Cnum.mag2 overlap
 
 let collect_garbage engine =
-  Dd.Context.collect engine.context ~v_roots:[ engine.state_edge ]
-    ~m_roots:[]
+  let v_removed, m_removed =
+    Dd.Context.collect engine.context ~v_roots:[ engine.state_edge ]
+      ~m_roots:[]
+  in
+  engine.stats.gc_reclaimed_nodes <-
+    engine.stats.gc_reclaimed_nodes + v_removed + m_removed;
+  engine.stats.gc_pause_seconds <-
+    engine.stats.gc_pause_seconds
+    +. (Dd.Context.gc_stats engine.context).Dd.Context.last_pause;
+  (v_removed, m_removed)

@@ -17,6 +17,7 @@ type t =
   | Renormalization_failed of { norm2 : float; site : run_site }
   | Invalid_checkpoint of { source : string; message : string }
   | Width_mismatch of { what : string; expected : int; actual : int }
+  | Invalid_parameter of { what : string; message : string }
 
 exception Error of t
 
@@ -44,9 +45,14 @@ let to_string = function
     Printf.sprintf "invalid checkpoint %s: %s" source message
   | Width_mismatch { what; expected; actual } ->
     Printf.sprintf "%s: expected %d qubits, got %d" what expected actual
+  | Invalid_parameter { what; message } ->
+    Printf.sprintf "%s: %s" what message
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 let raise_error e = raise (Error e)
+
+let invalid_parameter ~what message =
+  raise (Error (Invalid_parameter { what; message }))
 
 let () =
   Printexc.register_printer (function

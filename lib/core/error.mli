@@ -39,6 +39,11 @@ type t =
   | Width_mismatch of { what : string; expected : int; actual : int }
       (** A circuit or state of the wrong qubit count was given to an
           engine. *)
+  | Invalid_parameter of { what : string; message : string }
+      (** A run-configuration value (qubit count, strategy parameter,
+          checkpoint interval, resume point) is out of its domain.  These
+          arrive from user input — CLI flags, config — so they are
+          structured errors rather than assertions. *)
 
 exception Error of t
 
@@ -48,3 +53,7 @@ val pp : Format.formatter -> t -> unit
 
 val raise_error : t -> 'a
 (** [raise_error e] raises {!Error}. *)
+
+val invalid_parameter : what:string -> string -> 'a
+(** [invalid_parameter ~what message] raises {!Error} with
+    [Invalid_parameter]. *)

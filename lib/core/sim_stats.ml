@@ -9,6 +9,8 @@ type t = {
   mutable auto_gcs : int;
   mutable renormalizations : int;
   mutable checkpoints_written : int;
+  mutable gc_pause_seconds : float;
+  mutable gc_reclaimed_nodes : int;
 }
 
 let create () =
@@ -23,6 +25,8 @@ let create () =
     auto_gcs = 0;
     renormalizations = 0;
     checkpoints_written = 0;
+    gc_pause_seconds = 0.;
+    gc_reclaimed_nodes = 0;
   }
 
 let reset stats =
@@ -35,7 +39,9 @@ let reset stats =
   stats.fallbacks <- 0;
   stats.auto_gcs <- 0;
   stats.renormalizations <- 0;
-  stats.checkpoints_written <- 0
+  stats.checkpoints_written <- 0;
+  stats.gc_pause_seconds <- 0.;
+  stats.gc_reclaimed_nodes <- 0
 
 let copy stats = { stats with mat_vec_mults = stats.mat_vec_mults }
 
@@ -49,7 +55,9 @@ let assign dst src =
   dst.fallbacks <- src.fallbacks;
   dst.auto_gcs <- src.auto_gcs;
   dst.renormalizations <- src.renormalizations;
-  dst.checkpoints_written <- src.checkpoints_written
+  dst.checkpoints_written <- src.checkpoints_written;
+  dst.gc_pause_seconds <- src.gc_pause_seconds;
+  dst.gc_reclaimed_nodes <- src.gc_reclaimed_nodes
 
 let pp fmt stats =
   Format.fprintf fmt
@@ -66,4 +74,8 @@ let pp fmt stats =
     Format.fprintf fmt
       " fallbacks=%d auto-gcs=%d renormalizations=%d checkpoints=%d"
       stats.fallbacks stats.auto_gcs stats.renormalizations
-      stats.checkpoints_written
+      stats.checkpoints_written;
+  if stats.auto_gcs > 0 || stats.gc_reclaimed_nodes > 0 then
+    Format.fprintf fmt " gc-pause=%.3fms gc-reclaimed=%d"
+      (1000. *. stats.gc_pause_seconds)
+      stats.gc_reclaimed_nodes

@@ -22,6 +22,11 @@ type t = {
   mutable renormalizations : int;
       (** norm-drift corrections applied by the guard *)
   mutable checkpoints_written : int;
+  mutable gc_pause_seconds : float;
+      (** wall-clock time spent inside [Dd.Context.collect], cumulative
+          over the engine's automatic and explicit collections *)
+  mutable gc_reclaimed_nodes : int;
+      (** vector + matrix nodes reclaimed by those collections *)
 }
 
 val create : unit -> t

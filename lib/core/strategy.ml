@@ -39,8 +39,14 @@ let of_string text =
 
 let pp fmt strategy = Format.pp_print_string fmt (to_string strategy)
 
-let validate = function
-  | Sequential -> ()
+(* result-returning so this module stays below Error in the dependency
+   order (Error.run_site embeds Strategy.t); Engine.run converts a
+   rejection into a structured Error.Invalid_parameter *)
+let check = function
+  | Sequential -> Ok ()
   | K_operations k ->
-    if k < 1 then invalid_arg "Strategy: k must be >= 1"
-  | Max_size s -> if s < 1 then invalid_arg "Strategy: size must be >= 1"
+    if k < 1 then Error (Printf.sprintf "k must be >= 1 (got %d)" k)
+    else Ok ()
+  | Max_size s ->
+    if s < 1 then Error (Printf.sprintf "size must be >= 1 (got %d)" s)
+    else Ok ()

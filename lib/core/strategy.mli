@@ -25,5 +25,8 @@ val of_string : string -> (t, string) result
 
 val pp : Format.formatter -> t -> unit
 
-val validate : t -> unit
-(** Raises [Invalid_argument] for non-positive parameters. *)
+val check : t -> (unit, string) result
+(** [Error message] for non-positive parameters.  Result-returning (not a
+    structured raise) because {!Error.run_site} embeds [Strategy.t], so
+    this module sits below the error layer; [Engine.run] converts a
+    rejection into [Error.Invalid_parameter]. *)

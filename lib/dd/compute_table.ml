@@ -1,0 +1,162 @@
+(* Fixed-capacity, lossy memoisation tables for the DD kernels.
+
+   Production DD packages do not memoise in unbounded hash maps: they use
+   direct-mapped arrays with packed integer keys, overwrite on collision,
+   and accept the recomputation a lost entry costs (Wille, Hillmich,
+   Burgholzer, "Decision Diagrams for Quantum Computing", 2023).  This
+   bounds the memory of a long run, removes rehash pauses from the hot
+   path, and makes a lookup one multiply-shift index plus a full key
+   comparison — a collision can therefore never return the value of a
+   different key, it only reads as a miss. *)
+
+type 'v t = {
+  name : string;
+  mask : int;
+  occupied : Bytes.t;
+  k1 : int array;
+  k2 : int array;
+  k3 : int array;
+  value : 'v array;
+  stamp : int array;  (* generation the entry was written / last validated *)
+  mutable entries : int;
+  mutable generation : int;
+  mutable lookups : int;
+  mutable hits : int;
+  mutable stores : int;
+  mutable evictions : int;
+  mutable invalidated : int;
+}
+
+type stats = {
+  table : string;
+  capacity : int;
+  entries : int;
+  lookups : int;
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  invalidated : int;
+  generation : int;
+}
+
+let create ~name ~bits ~dummy =
+  if bits < 1 || bits > 28 then
+    invalid_arg "Compute_table.create: bits must be in [1, 28]";
+  let capacity = 1 lsl bits in
+  {
+    name;
+    mask = capacity - 1;
+    occupied = Bytes.make capacity '\000';
+    k1 = Array.make capacity 0;
+    k2 = Array.make capacity 0;
+    k3 = Array.make capacity 0;
+    value = Array.make capacity dummy;
+    stamp = Array.make capacity 0;
+    entries = 0;
+    generation = 0;
+    lookups = 0;
+    hits = 0;
+    stores = 0;
+    evictions = 0;
+    invalidated = 0;
+  }
+
+let capacity (t : _ t) = t.mask + 1
+let name (t : _ t) = t.name
+let length (t : _ t) = t.entries
+let generation (t : _ t) = t.generation
+
+(* Multiplicative mixing of the three key words; the constants are the
+   usual 64-bit golden-ratio/xxhash primes.  Only the low bits survive the
+   final [land], so the shift folds the high bits back in first. *)
+let slot (t : _ t) k1 k2 k3 =
+  let h = k1 * 0x2545F4914F6CDD1D in
+  let h = (h lxor k2) * 0x27D4EB2F165667C5 in
+  let h = (h lxor k3) * 0x165667B19E3779F9 in
+  (h lxor (h lsr 29)) land t.mask
+
+let key_matches (t : _ t) i k1 k2 k3 =
+  t.k1.(i) = k1 && t.k2.(i) = k2 && t.k3.(i) = k3
+
+let find (t : 'v t) ~k1 ~k2 ~k3 =
+  t.lookups <- t.lookups + 1;
+  let i = slot t k1 k2 k3 in
+  if Bytes.unsafe_get t.occupied i = '\001' && key_matches t i k1 k2 k3
+  then begin
+    t.hits <- t.hits + 1;
+    Some t.value.(i)
+  end
+  else None
+
+let store (t : 'v t) ~k1 ~k2 ~k3 v =
+  let i = slot t k1 k2 k3 in
+  if Bytes.unsafe_get t.occupied i = '\001' then begin
+    if not (key_matches t i k1 k2 k3) then t.evictions <- t.evictions + 1
+  end
+  else begin
+    Bytes.unsafe_set t.occupied i '\001';
+    t.entries <- t.entries + 1
+  end;
+  t.k1.(i) <- k1;
+  t.k2.(i) <- k2;
+  t.k3.(i) <- k3;
+  t.value.(i) <- v;
+  t.stamp.(i) <- t.generation;
+  t.stores <- t.stores + 1
+
+let clear (t : _ t) =
+  Bytes.fill t.occupied 0 (Bytes.length t.occupied) '\000';
+  t.entries <- 0
+
+(* Generation-aware sweep: entries whose keys/values still refer to live
+   nodes survive the collection and are re-stamped with the new
+   generation; the rest are dropped (and counted).  Returns the number of
+   dropped entries. *)
+let sweep (t : 'v t) ~keep =
+  t.generation <- t.generation + 1;
+  let dropped = ref 0 in
+  for i = 0 to t.mask do
+    if Bytes.unsafe_get t.occupied i = '\001' then
+      if keep t.k1.(i) t.k2.(i) t.k3.(i) t.value.(i) then
+        t.stamp.(i) <- t.generation
+      else begin
+        Bytes.unsafe_set t.occupied i '\000';
+        t.entries <- t.entries - 1;
+        incr dropped
+      end
+  done;
+  t.invalidated <- t.invalidated + !dropped;
+  !dropped
+
+let reset_counters (t : _ t) =
+  t.lookups <- 0;
+  t.hits <- 0;
+  t.stores <- 0;
+  t.evictions <- 0;
+  t.invalidated <- 0
+
+let stats (t : 'v t) : stats =
+  {
+    table = t.name;
+    capacity = capacity t;
+    entries = t.entries;
+    lookups = t.lookups;
+    hits = t.hits;
+    misses = t.lookups - t.hits;
+    stores = t.stores;
+    evictions = t.evictions;
+    invalidated = t.invalidated;
+    generation = t.generation;
+  }
+
+let hit_rate (t : _ t) =
+  if t.lookups = 0 then 0. else float_of_int t.hits /. float_of_int t.lookups
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%-7s lookups %9d  hits %9d (%5.1f%%)  evictions %8d  entries %d/%d"
+    s.table s.lookups s.hits
+    (if s.lookups = 0 then 0.
+     else 100. *. float_of_int s.hits /. float_of_int s.lookups)
+    s.evictions s.entries s.capacity

@@ -1,0 +1,49 @@
+(** Fixed-capacity, lossy memoisation tables for the DD kernels.
+
+    A table is a direct-mapped array of [2^bits] slots addressed by a hash
+    of the packed integer key [(k1, k2, k3)].  A colliding {!store}
+    overwrites the previous entry (lossy — memoisation is purely an
+    optimisation, every recursion is structural); a {!find} compares the
+    full key, so a collision can never return the value of a different
+    key, it only reads as a miss.  Entries carry the generation of the
+    last garbage collection that validated them; {!sweep} drops entries a
+    collection invalidated and keeps the rest warm. *)
+
+type 'v t
+
+type stats = {
+  table : string;
+  capacity : int;
+  entries : int;
+  lookups : int;
+  hits : int;
+  misses : int;  (** always [lookups - hits] *)
+  stores : int;
+  evictions : int;  (** live entries overwritten by a colliding store *)
+  invalidated : int;  (** entries dropped by {!sweep} *)
+  generation : int;
+}
+
+val create : name:string -> bits:int -> dummy:'v -> 'v t
+(** [2^bits] slots ([bits] in [1, 28]); [dummy] fills unoccupied value
+    slots and is never returned. *)
+
+val find : 'v t -> k1:int -> k2:int -> k3:int -> 'v option
+val store : 'v t -> k1:int -> k2:int -> k3:int -> 'v -> unit
+
+val clear : 'v t -> unit
+(** Drop every entry.  Counters are kept. *)
+
+val sweep : 'v t -> keep:(int -> int -> int -> 'v -> bool) -> int
+(** One garbage collection over the table: bump the generation, re-stamp
+    every entry for which [keep k1 k2 k3 v] holds, drop the rest.  Returns
+    the number of entries dropped. *)
+
+val capacity : 'v t -> int
+val name : 'v t -> string
+val length : 'v t -> int
+val generation : 'v t -> int
+val hit_rate : 'v t -> float
+val stats : 'v t -> stats
+val reset_counters : 'v t -> unit
+val pp_stats : Format.formatter -> stats -> unit

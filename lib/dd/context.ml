@@ -1,107 +1,140 @@
 open Dd_complex
 
-type cache_stats = { mutable hits : int; mutable misses : int }
-
-type stats = {
-  mutable v_nodes_created : int;
-  mutable m_nodes_created : int;
-  add_v : cache_stats;
-  add_m : cache_stats;
-  mul_mv : cache_stats;
-  mul_mm : cache_stats;
+type gc_stats = {
+  mutable collections : int;
+  mutable pause_total : float;
+  mutable last_pause : float;
+  mutable v_reclaimed_total : int;
+  mutable m_reclaimed_total : int;
+  mutable entries_invalidated : int;
 }
 
 type t = {
   ctable : Ctable.t;
-  v_unique : (int * int * int * int * int, Types.vnode) Hashtbl.t;
-  m_unique :
-    ( int * int * int * int * int * int * int * int * int,
-      Types.mnode )
-    Hashtbl.t;
-  mutable next_vid : int;
-  mutable next_mid : int;
-  add_v_cache : (int * int * int, Types.vedge) Hashtbl.t;
-  add_m_cache : (int * int * int, Types.medge) Hashtbl.t;
-  mul_mv_cache : (int * int, Types.vedge) Hashtbl.t;
-  mul_mm_cache : (int * int, Types.medge) Hashtbl.t;
-  adjoint_cache : (int, Types.medge) Hashtbl.t;
-  dot_cache : (int * int, Cnum.t) Hashtbl.t;
-  norm_cache : (int, float) Hashtbl.t;
-  max_mag_cache : (int, float) Hashtbl.t;
+  v_unique : Hashcons.V.t;
+  m_unique : Hashcons.M.t;
+  add_v : Types.vedge Compute_table.t;
+  add_m : Types.medge Compute_table.t;
+  mul_mv : Types.vedge Compute_table.t;
+  mul_mm : Types.medge Compute_table.t;
+  dot : Cnum.t Compute_table.t;
+  adjoint : Types.medge Compute_table.t;
+  norm : float Compute_table.t;
+  max_mag : float Compute_table.t;
   identity_cache : (int, Types.medge) Hashtbl.t;
-  stats : stats;
+  gc : gc_stats;
 }
 
-let fresh_stats () =
-  {
-    v_nodes_created = 0;
-    m_nodes_created = 0;
-    add_v = { hits = 0; misses = 0 };
-    add_m = { hits = 0; misses = 0 };
-    mul_mv = { hits = 0; misses = 0 };
-    mul_mm = { hits = 0; misses = 0 };
-  }
+let default_cache_bits = 16
 
-let create ?tolerance () =
+let create ?tolerance ?(cache_bits = default_cache_bits) () =
+  if cache_bits < 4 || cache_bits > 24 then
+    invalid_arg "Context.create: cache_bits must be in [4, 24]";
+  let ctable = Ctable.create ?tolerance () in
+  let intern z = Ctable.intern ctable z in
+  let table name bits dummy = Compute_table.create ~name ~bits ~dummy in
+  let small = max 4 (cache_bits - 4) in
   {
-    ctable = Ctable.create ?tolerance ();
-    v_unique = Hashtbl.create 65536;
-    m_unique = Hashtbl.create 65536;
-    next_vid = 1;
-    next_mid = 1;
-    add_v_cache = Hashtbl.create 65536;
-    add_m_cache = Hashtbl.create 65536;
-    mul_mv_cache = Hashtbl.create 65536;
-    mul_mm_cache = Hashtbl.create 65536;
-    adjoint_cache = Hashtbl.create 1024;
-    dot_cache = Hashtbl.create 1024;
-    norm_cache = Hashtbl.create 65536;
-    max_mag_cache = Hashtbl.create 65536;
+    ctable;
+    v_unique = Hashcons.V.create ~intern ();
+    m_unique = Hashcons.M.create ~intern ();
+    add_v = table "add_v" cache_bits Types.v_zero;
+    add_m = table "add_m" cache_bits Types.m_zero;
+    mul_mv = table "mul_mv" cache_bits Types.v_zero;
+    mul_mm = table "mul_mm" cache_bits Types.m_zero;
+    dot = table "dot" small Cnum.zero;
+    adjoint = table "adjoint" small Types.m_zero;
+    norm = table "norm" cache_bits 0.;
+    max_mag = table "max_mag" cache_bits 0.;
     identity_cache = Hashtbl.create 64;
-    stats = fresh_stats ();
+    gc =
+      {
+        collections = 0;
+        pause_total = 0.;
+        last_pause = 0.;
+        v_reclaimed_total = 0;
+        m_reclaimed_total = 0;
+        entries_invalidated = 0;
+      };
   }
 
 let cnum ctx z = Ctable.intern ctx.ctable z
 
 let clear_compute_caches ctx =
-  Hashtbl.reset ctx.add_v_cache;
-  Hashtbl.reset ctx.add_m_cache;
-  Hashtbl.reset ctx.mul_mv_cache;
-  Hashtbl.reset ctx.mul_mm_cache;
-  Hashtbl.reset ctx.adjoint_cache;
-  Hashtbl.reset ctx.dot_cache;
-  Hashtbl.reset ctx.norm_cache;
-  Hashtbl.reset ctx.max_mag_cache
+  Compute_table.clear ctx.add_v;
+  Compute_table.clear ctx.add_m;
+  Compute_table.clear ctx.mul_mv;
+  Compute_table.clear ctx.mul_mm;
+  Compute_table.clear ctx.dot;
+  Compute_table.clear ctx.adjoint;
+  Compute_table.clear ctx.norm;
+  Compute_table.clear ctx.max_mag
 
-let v_unique_size ctx = ctx.next_vid - 1
-let m_unique_size ctx = ctx.next_mid - 1
+let v_unique_size ctx = Hashcons.V.created ctx.v_unique
+let m_unique_size ctx = Hashcons.M.created ctx.m_unique
+let live_v_nodes ctx = Hashcons.V.length ctx.v_unique
+let live_m_nodes ctx = Hashcons.M.length ctx.m_unique
+
+let table_stats ctx =
+  [
+    Compute_table.stats ctx.add_v;
+    Compute_table.stats ctx.add_m;
+    Compute_table.stats ctx.mul_mv;
+    Compute_table.stats ctx.mul_mm;
+    Compute_table.stats ctx.dot;
+    Compute_table.stats ctx.adjoint;
+    Compute_table.stats ctx.norm;
+    Compute_table.stats ctx.max_mag;
+  ]
+
+let gc_stats ctx = ctx.gc
 
 let reset_stats ctx =
-  let s = ctx.stats in
-  s.v_nodes_created <- 0;
-  s.m_nodes_created <- 0;
-  List.iter
-    (fun c ->
-      c.hits <- 0;
-      c.misses <- 0)
-    [ s.add_v; s.add_m; s.mul_mv; s.mul_mm ]
+  Compute_table.reset_counters ctx.add_v;
+  Compute_table.reset_counters ctx.add_m;
+  Compute_table.reset_counters ctx.mul_mv;
+  Compute_table.reset_counters ctx.mul_mm;
+  Compute_table.reset_counters ctx.dot;
+  Compute_table.reset_counters ctx.adjoint;
+  Compute_table.reset_counters ctx.norm;
+  Compute_table.reset_counters ctx.max_mag;
+  let gc = ctx.gc in
+  gc.collections <- 0;
+  gc.pause_total <- 0.;
+  gc.last_pause <- 0.;
+  gc.v_reclaimed_total <- 0;
+  gc.m_reclaimed_total <- 0;
+  gc.entries_invalidated <- 0
 
 let pp_stats fmt ctx =
-  let s = ctx.stats in
-  let line name c =
-    Format.fprintf fmt "%s: %d hits / %d misses@\n" name c.hits c.misses
-  in
-  Format.fprintf fmt "nodes created: %d vector, %d matrix@\n"
-    s.v_nodes_created s.m_nodes_created;
-  line "add_v " s.add_v;
-  line "add_m " s.add_m;
-  line "mul_mv" s.mul_mv;
-  line "mul_mm" s.mul_mm
+  Format.fprintf fmt "nodes created: %d vector, %d matrix (live %d / %d)@\n"
+    (v_unique_size ctx) (m_unique_size ctx) (live_v_nodes ctx)
+    (live_m_nodes ctx);
+  List.iter
+    (fun s -> Format.fprintf fmt "%a@\n" Compute_table.pp_stats s)
+    (table_stats ctx);
+  let gc = ctx.gc in
+  Format.fprintf fmt
+    "gc: %d collections, %.3f ms total pause (last %.3f ms), reclaimed %d \
+     vector / %d matrix nodes, %d cache entries dropped@\n"
+    gc.collections (1000. *. gc.pause_total) (1000. *. gc.last_pause)
+    gc.v_reclaimed_total gc.m_reclaimed_total gc.entries_invalidated
 
-let live_v_nodes ctx = Hashtbl.length ctx.v_unique
-let live_m_nodes ctx = Hashtbl.length ctx.m_unique
+(* Generation-aware mark-and-sweep.  Nodes unreachable from the roots are
+   dropped from the unique tables.  Compute-cache entries are swept
+   individually: an entry survives the collection iff every node its key
+   refers to is still live and its result edge targets a live node —
+   marking is recursive, so a live result target implies the whole result
+   subgraph was retained.  Surviving entries stay warm, which is the whole
+   point: the wholesale cache clear this replaces made every collection
+   also a cold-start of the memoisation layer.
 
+   The identity cache acts as a GC root: identities are at most O(n)
+   nodes, are rebuilt constantly by gate construction, and rooting them
+   keeps both the cache and the shared substructure of every gate DD
+   warm. *)
 let collect ctx ~v_roots ~m_roots =
+  let t0 = Unix.gettimeofday () in
   let v_marked = Hashtbl.create 4096 in
   let m_marked = Hashtbl.create 4096 in
   let rec mark_v (node : Types.vnode) =
@@ -124,18 +157,50 @@ let collect ctx ~v_roots ~m_roots =
   in
   List.iter (fun (e : Types.vedge) -> mark_v e.Types.vt) v_roots;
   List.iter (fun (e : Types.medge) -> mark_m e.Types.mt) m_roots;
-  let v_before = Hashtbl.length ctx.v_unique in
-  let m_before = Hashtbl.length ctx.m_unique in
-  let keep_v _key (node : Types.vnode) =
-    if Hashtbl.mem v_marked node.Types.vid then Some node else None
+  Hashtbl.iter (fun _ (e : Types.medge) -> mark_m e.Types.mt)
+    ctx.identity_cache;
+  let v_removed =
+    Hashcons.V.prune ctx.v_unique ~keep:(fun n ->
+        Hashtbl.mem v_marked n.Types.vid)
   in
-  let keep_m _key (node : Types.mnode) =
-    if Hashtbl.mem m_marked node.Types.mid then Some node else None
+  let m_removed =
+    Hashcons.M.prune ctx.m_unique ~keep:(fun n ->
+        Hashtbl.mem m_marked n.Types.mid)
   in
-  Hashtbl.filter_map_inplace keep_v ctx.v_unique;
-  Hashtbl.filter_map_inplace keep_m ctx.m_unique;
-  (* the compute caches and the identity cache may hold dead nodes *)
-  clear_compute_caches ctx;
-  Hashtbl.reset ctx.identity_cache;
-  ( v_before - Hashtbl.length ctx.v_unique,
-    m_before - Hashtbl.length ctx.m_unique )
+  (* node ids are never reused, so a key naming a dead id can only ever be
+     a harmless miss — but the *values* must not resurrect dead nodes, so
+     any entry touching a dead id goes *)
+  let v_live id = id = 0 || Hashtbl.mem v_marked id in
+  let m_live id = id = 0 || Hashtbl.mem m_marked id in
+  let v_edge_live (e : Types.vedge) = v_live e.Types.vt.Types.vid in
+  let m_edge_live (e : Types.medge) = m_live e.Types.mt.Types.mid in
+  let dropped = ref 0 in
+  let ( += ) r n = r := !r + n in
+  dropped
+  += Compute_table.sweep ctx.add_v ~keep:(fun a b _ v ->
+         v_live a && v_live b && v_edge_live v);
+  dropped
+  += Compute_table.sweep ctx.add_m ~keep:(fun a b _ v ->
+         m_live a && m_live b && m_edge_live v);
+  dropped
+  += Compute_table.sweep ctx.mul_mv ~keep:(fun m v _ r ->
+         m_live m && v_live v && v_edge_live r);
+  dropped
+  += Compute_table.sweep ctx.mul_mm ~keep:(fun a b _ v ->
+         m_live a && m_live b && m_edge_live v);
+  dropped
+  += Compute_table.sweep ctx.dot ~keep:(fun a b _ _ -> v_live a && v_live b);
+  dropped
+  += Compute_table.sweep ctx.adjoint ~keep:(fun a _ _ v ->
+         m_live a && m_edge_live v);
+  dropped += Compute_table.sweep ctx.norm ~keep:(fun a _ _ _ -> v_live a);
+  dropped += Compute_table.sweep ctx.max_mag ~keep:(fun a _ _ _ -> v_live a);
+  let pause = Unix.gettimeofday () -. t0 in
+  let gc = ctx.gc in
+  gc.collections <- gc.collections + 1;
+  gc.last_pause <- pause;
+  gc.pause_total <- gc.pause_total +. pause;
+  gc.v_reclaimed_total <- gc.v_reclaimed_total + v_removed;
+  gc.m_reclaimed_total <- gc.m_reclaimed_total + m_removed;
+  gc.entries_invalidated <- gc.entries_invalidated + !dropped;
+  (v_removed, m_removed)

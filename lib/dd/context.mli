@@ -1,72 +1,78 @@
 (** Shared state of a DD package instance: the canonical complex table, the
-    unique (hash-consing) tables for vector and matrix nodes, and the compute
-    caches that memoise addition and multiplication — the machinery the paper
-    relies on when it argues that "re-occurring sub-products only have to be
-    computed once". *)
+    unique (hash-consing) tables for vector and matrix nodes, and the
+    fixed-capacity compute tables that memoise addition and multiplication —
+    the machinery the paper relies on when it argues that "re-occurring
+    sub-products only have to be computed once". *)
 
 open Dd_complex
 
-type cache_stats = { mutable hits : int; mutable misses : int }
-
-type stats = {
-  mutable v_nodes_created : int;
-  mutable m_nodes_created : int;
-  add_v : cache_stats;
-  add_m : cache_stats;
-  mul_mv : cache_stats;
-  mul_mm : cache_stats;
+type gc_stats = {
+  mutable collections : int;
+  mutable pause_total : float;  (** seconds spent in {!collect}, cumulative *)
+  mutable last_pause : float;  (** seconds spent in the last {!collect} *)
+  mutable v_reclaimed_total : int;
+  mutable m_reclaimed_total : int;
+  mutable entries_invalidated : int;
+      (** compute-table entries dropped because they referenced dead nodes *)
 }
 
 type t = {
   ctable : Ctable.t;
-  v_unique : (int * int * int * int * int, Types.vnode) Hashtbl.t;
-  m_unique :
-    ( int * int * int * int * int * int * int * int * int,
-      Types.mnode )
-    Hashtbl.t;
-  mutable next_vid : int;
-  mutable next_mid : int;
-  add_v_cache : (int * int * int, Types.vedge) Hashtbl.t;
-  add_m_cache : (int * int * int, Types.medge) Hashtbl.t;
-  mul_mv_cache : (int * int, Types.vedge) Hashtbl.t;
-  mul_mm_cache : (int * int, Types.medge) Hashtbl.t;
-  adjoint_cache : (int, Types.medge) Hashtbl.t;
-  dot_cache : (int * int, Cnum.t) Hashtbl.t;
-  norm_cache : (int, float) Hashtbl.t;
-  max_mag_cache : (int, float) Hashtbl.t;
+  v_unique : Hashcons.V.t;
+  m_unique : Hashcons.M.t;
+  add_v : Types.vedge Compute_table.t;
+  add_m : Types.medge Compute_table.t;
+  mul_mv : Types.vedge Compute_table.t;
+  mul_mm : Types.medge Compute_table.t;
+  dot : Cnum.t Compute_table.t;
+  adjoint : Types.medge Compute_table.t;
+  norm : float Compute_table.t;
+  max_mag : float Compute_table.t;
   identity_cache : (int, Types.medge) Hashtbl.t;
-  stats : stats;
+  gc : gc_stats;
 }
 
-val create : ?tolerance:float -> unit -> t
-(** Fresh package instance.  [tolerance] is forwarded to {!Ctable.create}. *)
+val create : ?tolerance:float -> ?cache_bits:int -> unit -> t
+(** Fresh package instance.  [tolerance] is forwarded to {!Ctable.create}.
+    [cache_bits] (default 16) sizes the hot compute tables at
+    [2^cache_bits] slots each; the cold tables (dot, adjoint) get
+    [2^(cache_bits - 4)].  Raises [Invalid_argument] outside [4, 24]. *)
 
 val cnum : t -> Cnum.t -> Cnum.t
 (** Intern a complex number in this context's table. *)
 
 val clear_compute_caches : t -> unit
-(** Drop all memoisation caches (unique tables are kept, so canonicity is
+(** Drop all memoisation tables (unique tables are kept, so canonicity is
     unaffected).  Useful between timed runs. *)
 
 val v_unique_size : t -> int
-(** Number of distinct vector nodes ever created. *)
+(** Number of distinct vector nodes ever created (monotone). *)
 
 val m_unique_size : t -> int
-
-val reset_stats : t -> unit
-
-val pp_stats : Format.formatter -> t -> unit
 
 val live_v_nodes : t -> int
 (** Vector nodes currently resident in the unique table. *)
 
 val live_m_nodes : t -> int
 
+val table_stats : t -> Compute_table.stats list
+(** Hit/miss/eviction counters of every compute table, in a fixed order. *)
+
+val gc_stats : t -> gc_stats
+
+val reset_stats : t -> unit
+(** Zero the compute-table counters and the GC statistics.  Node-creation
+    totals ({!v_unique_size}) are identifiers and stay monotone. *)
+
+val pp_stats : Format.formatter -> t -> unit
+
 val collect : t -> v_roots:Types.vedge list -> m_roots:Types.medge list ->
   int * int
-(** Mark-and-sweep garbage collection: every node unreachable from the
-    given root edges is dropped from the unique tables, and all compute
-    caches (which may reference dead nodes) are cleared.  Long-running
-    simulations call this periodically with the current state (and any
-    cached oracle matrices) as roots.  Returns the numbers of vector and
-    matrix nodes removed. *)
+(** Generation-aware mark-and-sweep garbage collection: every node
+    unreachable from the given root edges (plus the identity cache, which
+    is rooted) is dropped from the unique tables.  Compute-table entries
+    are swept individually — entries whose nodes all survive stay warm
+    across the collection; only entries referencing dead nodes are
+    invalidated.  Long-running simulations call this periodically with the
+    current state (and any cached oracle matrices) as roots.  Returns the
+    numbers of vector and matrix nodes removed. *)

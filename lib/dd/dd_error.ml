@@ -1,6 +1,7 @@
 type t =
   | Malformed_dd of { line : string option; message : string }
   | Degenerate_state of { operation : string; message : string }
+  | Invalid_operand of { operation : string; message : string }
 
 exception Error of t
 
@@ -11,11 +12,16 @@ let to_string = function
     Printf.sprintf "malformed DD: %s in %S" message line
   | Degenerate_state { operation; message } ->
     Printf.sprintf "%s: %s" operation message
+  | Invalid_operand { operation; message } ->
+    Printf.sprintf "%s: %s" operation message
 
 let malformed ?line message = raise (Error (Malformed_dd { line; message }))
 
 let degenerate ~operation message =
   raise (Error (Degenerate_state { operation; message }))
+
+let invalid_operand ~operation message =
+  raise (Error (Invalid_operand { operation; message }))
 
 let () =
   Printexc.register_printer (function

@@ -3,9 +3,10 @@
     Replaces the ad-hoc [failwith]/[Invalid_argument] raises on the paths
     that can fail mid-simulation with data the caller can act on: which
     operation failed, and why.  Programming-error precondition checks
-    (out-of-range qubits, bad array shapes) keep raising
-    [Invalid_argument]; this module is for failures of the *data* — a
-    malformed serialised DD, a numerically degenerate state. *)
+    (bad array shapes in construction helpers, conversion size limits)
+    keep raising [Invalid_argument]; this module is for failures of the
+    *data* — a malformed serialised DD, a numerically degenerate state,
+    an operand that arrived out of range from user input. *)
 
 type t =
   | Malformed_dd of { line : string option; message : string }
@@ -14,6 +15,13 @@ type t =
   | Degenerate_state of { operation : string; message : string }
       (** An operation met a state it cannot handle numerically (zero
           vector, zero-probability measurement outcome). *)
+  | Invalid_operand of { operation : string; message : string }
+      (** An operation was handed operands it cannot apply to — a
+          measurement of an out-of-range qubit, a gate whose control
+          equals its target.  Unlike [Invalid_argument] assertions these
+          sites sit on the simulation execution path, where bad values
+          arrive from user input (circuit files, CLI flags) rather than
+          from programming errors. *)
 
 exception Error of t
 
@@ -25,3 +33,7 @@ val malformed : ?line:string -> string -> 'a
 val degenerate : operation:string -> string -> 'a
 (** [degenerate ~operation message] raises {!Error} with
     [Degenerate_state]. *)
+
+val invalid_operand : operation:string -> string -> 'a
+(** [invalid_operand ~operation message] raises {!Error} with
+    [Invalid_operand]. *)

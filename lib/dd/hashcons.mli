@@ -1,0 +1,54 @@
+(** Shared hash-consing core for vector and matrix DD nodes: one
+    normalisation + unique-table code path, instantiated per node arity.
+    See {!Vdd.make} / {!Mdd.make} for the public entry points. *)
+
+open Dd_complex
+
+module type NODE = sig
+  type node
+  type edge
+
+  val arity : int
+  val terminal : node
+  val zero_edge : edge
+  val is_zero : edge -> bool
+  val weight : edge -> Cnum.t
+  val target : edge -> node
+  val edge : Cnum.t -> node -> edge
+  val id : node -> int
+  val level : node -> int
+  val child : node -> int -> edge
+  val build : id:int -> level:int -> edge array -> node
+end
+
+module type S = sig
+  type node
+  type edge
+  type t
+
+  val create : intern:(Cnum.t -> Cnum.t) -> unit -> t
+
+  val make : t -> level:int -> edge array -> edge
+  (** Normalise [children] (mutated in place: child weights are divided by
+      the first maximal-magnitude child weight and interned), hash-cons
+      the node, return the canonical edge carrying the factored-out
+      weight.  [children] must have length [arity]; non-zero children
+      must sit one level below [level]. *)
+
+  val length : t -> int
+  (** Nodes currently resident. *)
+
+  val created : t -> int
+  (** Nodes ever created (monotone; node ids are [1 .. created]). *)
+
+  val iter : (node -> unit) -> t -> unit
+
+  val prune : t -> keep:(node -> bool) -> int
+  (** Drop every node for which [keep] is false; returns how many were
+      dropped.  Used by {!Context.collect} — callers must guarantee no
+      live edge references a dropped node. *)
+end
+
+module Make (N : NODE) : S with type node = N.node and type edge = N.edge
+module V : S with type node = Types.vnode and type edge = Types.vedge
+module M : S with type node = Types.mnode and type edge = Types.medge

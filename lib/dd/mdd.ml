@@ -6,54 +6,11 @@ type control = { c_qubit : int; c_positive : bool }
 
 let zero = m_zero
 
+(* Normalisation and hash-consing live in the shared core (Hashcons):
+   the four quadrants are divided by the first maximal-magnitude quadrant
+   weight, which becomes the weight of the returned edge. *)
 let make ctx level e00 e01 e10 e11 =
-  let quadrants = [ e00; e01; e10; e11 ] in
-  if List.for_all m_is_zero quadrants then m_zero
-  else begin
-    assert (level >= 0);
-    List.iter
-      (fun e -> assert (m_is_zero e || e.mt.level = level - 1))
-      quadrants;
-    let pivot =
-      List.fold_left
-        (fun best e -> if Cnum.mag2 e.mw > Cnum.mag2 best then e.mw else best)
-        Cnum.zero quadrants
-    in
-    let norm e =
-      if m_is_zero e then m_zero
-      else { mw = Context.cnum ctx (Cnum.div e.mw pivot); mt = e.mt }
-    in
-    let n00 = norm e00 and n01 = norm e01 in
-    let n10 = norm e10 and n11 = norm e11 in
-    let key =
-      ( level,
-        Cnum.tag n00.mw, n00.mt.mid,
-        Cnum.tag n01.mw, n01.mt.mid,
-        Cnum.tag n10.mw, n10.mt.mid,
-        Cnum.tag n11.mw, n11.mt.mid )
-    in
-    let node =
-      match Hashtbl.find_opt ctx.Context.m_unique key with
-      | Some node -> node
-      | None ->
-        let node =
-          {
-            mid = ctx.Context.next_mid;
-            level;
-            m00 = n00;
-            m01 = n01;
-            m10 = n10;
-            m11 = n11;
-          }
-        in
-        ctx.Context.next_mid <- ctx.Context.next_mid + 1;
-        ctx.Context.stats.m_nodes_created <-
-          ctx.Context.stats.m_nodes_created + 1;
-        Hashtbl.add ctx.Context.m_unique key node;
-        node
-    in
-    { mw = pivot; mt = node }
-  end
+  Hashcons.M.make ctx.Context.m_unique ~level [| e00; e01; e10; e11 |]
 
 let scale ctx s edge =
   if Cnum.is_exact_zero s || m_is_zero edge then m_zero
@@ -78,7 +35,9 @@ let identity ctx n =
         Hashtbl.add ctx.Context.identity_cache k e;
         e
   in
-  if n < 0 then invalid_arg "Mdd.identity" else build n
+  if n < 0 then
+    Dd_error.invalid_operand ~operation:"Mdd.identity" "negative qubit count"
+  else build n
 
 (* Bottom-up gate construction: below the target the four quadrant blocks
    f.(i).(j) are extended level by level (identity on uninvolved qubits,
@@ -87,18 +46,18 @@ let identity ctx n =
    the four blocks become the children of one node; above the target a
    single edge is extended the same way. *)
 let gate ctx ~n ~target ?(controls = []) entries =
-  if Array.length entries <> 4 then
-    invalid_arg "Mdd.gate: entries must hold 4 values";
-  if target < 0 || target >= n then invalid_arg "Mdd.gate: target out of range";
+  let reject message = Dd_error.invalid_operand ~operation:"Mdd.gate" message in
+  if Array.length entries <> 4 then reject "entries must hold 4 values";
+  if target < 0 || target >= n then
+    reject (Printf.sprintf "target %d out of range for %d qubits" target n);
   let polarity = Array.make n None in
   List.iter
     (fun { c_qubit; c_positive } ->
       if c_qubit < 0 || c_qubit >= n then
-        invalid_arg "Mdd.gate: control out of range";
-      if c_qubit = target then
-        invalid_arg "Mdd.gate: control equals target";
+        reject (Printf.sprintf "control %d out of range for %d qubits" c_qubit n);
+      if c_qubit = target then reject "control equals target";
       if polarity.(c_qubit) <> None then
-        invalid_arg "Mdd.gate: duplicate control";
+        reject (Printf.sprintf "duplicate control %d" c_qubit);
       polarity.(c_qubit) <- Some c_positive)
     controls;
   let blocks =
@@ -156,21 +115,19 @@ let rec add ctx a b =
       else (b, a)
     in
     let ratio = Context.cnum ctx (Cnum.div b.mw a.mw) in
-    let key = (a.mt.mid, b.mt.mid, Cnum.tag ratio) in
+    let table = ctx.Context.add_m in
+    let k1 = a.mt.mid and k2 = b.mt.mid and k3 = Cnum.tag ratio in
     let unit_result =
-      match Hashtbl.find_opt ctx.Context.add_m_cache key with
-      | Some r ->
-        ctx.Context.stats.add_m.hits <- ctx.Context.stats.add_m.hits + 1;
-        r
+      match Compute_table.find table ~k1 ~k2 ~k3 with
+      | Some r -> r
       | None ->
-        ctx.Context.stats.add_m.misses <- ctx.Context.stats.add_m.misses + 1;
         let na = a.mt and nb = b.mt in
         let part qa qb = add ctx qa (scale ctx ratio qb) in
         let r =
           make ctx na.level (part na.m00 nb.m00) (part na.m01 nb.m01)
             (part na.m10 nb.m10) (part na.m11 nb.m11)
         in
-        Hashtbl.add ctx.Context.add_m_cache key r;
+        Compute_table.store table ~k1 ~k2 ~k3 r;
         r
     in
     scale ctx a.mw unit_result
@@ -228,15 +185,12 @@ let rec apply ctx me ve =
   end
   else begin
     assert (me.mt.level = ve.vt.level);
-    let key = (me.mt.mid, ve.vt.vid) in
+    let table = ctx.Context.mul_mv in
+    let k1 = me.mt.mid and k2 = ve.vt.vid in
     let unit_result =
-      match Hashtbl.find_opt ctx.Context.mul_mv_cache key with
-      | Some r ->
-        ctx.Context.stats.mul_mv.hits <- ctx.Context.stats.mul_mv.hits + 1;
-        r
+      match Compute_table.find table ~k1 ~k2 ~k3:0 with
+      | Some r -> r
       | None ->
-        ctx.Context.stats.mul_mv.misses <-
-          ctx.Context.stats.mul_mv.misses + 1;
         let m = me.mt and v = ve.vt in
         let low =
           Vdd.add ctx (apply ctx m.m00 v.v_low) (apply ctx m.m01 v.v_high)
@@ -245,7 +199,7 @@ let rec apply ctx me ve =
           Vdd.add ctx (apply ctx m.m10 v.v_low) (apply ctx m.m11 v.v_high)
         in
         let r = Vdd.make ctx m.level low high in
-        Hashtbl.add ctx.Context.mul_mv_cache key r;
+        Compute_table.store table ~k1 ~k2 ~k3:0 r;
         r
     in
     Vdd.scale ctx (Cnum.mul me.mw ve.vw) unit_result
@@ -259,15 +213,12 @@ let rec mul ctx ae be =
   end
   else begin
     assert (ae.mt.level = be.mt.level);
-    let key = (ae.mt.mid, be.mt.mid) in
+    let table = ctx.Context.mul_mm in
+    let k1 = ae.mt.mid and k2 = be.mt.mid in
     let unit_result =
-      match Hashtbl.find_opt ctx.Context.mul_mm_cache key with
-      | Some r ->
-        ctx.Context.stats.mul_mm.hits <- ctx.Context.stats.mul_mm.hits + 1;
-        r
+      match Compute_table.find table ~k1 ~k2 ~k3:0 with
+      | Some r -> r
       | None ->
-        ctx.Context.stats.mul_mm.misses <-
-          ctx.Context.stats.mul_mm.misses + 1;
         let a = ae.mt and b = be.mt in
         let entry ai0 ai1 b0j b1j =
           add ctx (mul ctx ai0 b0j) (mul ctx ai1 b1j)
@@ -279,7 +230,7 @@ let rec mul ctx ae be =
             (entry a.m10 a.m11 b.m00 b.m10)
             (entry a.m10 a.m11 b.m01 b.m11)
         in
-        Hashtbl.add ctx.Context.mul_mm_cache key r;
+        Compute_table.store table ~k1 ~k2 ~k3:0 r;
         r
     in
     scale ctx (Cnum.mul ae.mw be.mw) unit_result
@@ -290,7 +241,9 @@ let rec adjoint ctx e =
   else if m_is_terminal e.mt then terminal_edge ctx (Cnum.conj e.mw)
   else
     let unit_result =
-      match Hashtbl.find_opt ctx.Context.adjoint_cache e.mt.mid with
+      match
+        Compute_table.find ctx.Context.adjoint ~k1:e.mt.mid ~k2:0 ~k3:0
+      with
       | Some r -> r
       | None ->
         let n = e.mt in
@@ -298,7 +251,7 @@ let rec adjoint ctx e =
           make ctx n.level (adjoint ctx n.m00) (adjoint ctx n.m10)
             (adjoint ctx n.m01) (adjoint ctx n.m11)
         in
-        Hashtbl.add ctx.Context.adjoint_cache n.mid r;
+        Compute_table.store ctx.Context.adjoint ~k1:n.mid ~k2:0 ~k3:0 r;
         r
     in
     scale ctx (Cnum.conj e.mw) unit_result

@@ -7,14 +7,14 @@ open Types
 let rec node_norm ctx node =
   if v_is_terminal node then 1.
   else
-    match Hashtbl.find_opt ctx.Context.norm_cache node.vid with
+    match Compute_table.find ctx.Context.norm ~k1:node.vid ~k2:0 ~k3:0 with
     | Some x -> x
     | None ->
       let part e =
         if v_is_zero e then 0. else Cnum.mag2 e.vw *. node_norm ctx e.vt
       in
       let x = part node.v_low +. part node.v_high in
-      Hashtbl.add ctx.Context.norm_cache node.vid x;
+      Compute_table.store ctx.Context.norm ~k1:node.vid ~k2:0 ~k3:0 x;
       x
 
 let norm2 ctx edge =
@@ -25,7 +25,8 @@ let probability_one ctx edge ~qubit =
   if v_is_zero edge then
     Dd_error.degenerate ~operation:"Measure.probability_one" "zero state";
   if qubit < 0 || qubit > edge.vt.level then
-    invalid_arg "Measure.probability_one: qubit out of range";
+    Dd_error.invalid_operand ~operation:"Measure.probability_one"
+      (Printf.sprintf "qubit %d out of range" qubit);
   let memo = Hashtbl.create 64 in
   (* weight of all paths through the |1> branch at [qubit], per node *)
   let rec mass node =
@@ -52,7 +53,8 @@ let collapse ctx edge ~qubit ~outcome =
   if v_is_zero edge then
     Dd_error.degenerate ~operation:"Measure.collapse" "zero state";
   if qubit < 0 || qubit > edge.vt.level then
-    invalid_arg "Measure.collapse: qubit out of range";
+    Dd_error.invalid_operand ~operation:"Measure.collapse"
+      (Printf.sprintf "qubit %d out of range" qubit);
   let memo = Hashtbl.create 64 in
   let rec project node =
     match Hashtbl.find_opt memo node.vid with

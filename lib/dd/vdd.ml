@@ -5,46 +5,11 @@ type edge = Types.vedge
 
 let zero = v_zero
 
-(* Normalisation: both children are divided by the larger-magnitude weight
-   (low wins ties), which becomes the weight of the returned edge.  This is
-   canonical because weights are canonical (interning merges FP noise) and
-   numerically stable because normalised child weights have magnitude <= 1. *)
+(* Normalisation and hash-consing live in the shared core (Hashcons):
+   both children are divided by the maximal-magnitude child weight (low
+   wins ties), which becomes the weight of the returned edge. *)
 let make ctx level low high =
-  if v_is_zero low && v_is_zero high then v_zero
-  else begin
-    assert (level >= 0);
-    assert (v_is_zero low || low.vt.level = level - 1);
-    assert (v_is_zero high || high.vt.level = level - 1);
-    let pivot =
-      if Cnum.mag2 low.vw >= Cnum.mag2 high.vw then low.vw else high.vw
-    in
-    let norm edge =
-      if v_is_zero edge then v_zero
-      else { vw = Context.cnum ctx (Cnum.div edge.vw pivot); vt = edge.vt }
-    in
-    let nlow = norm low and nhigh = norm high in
-    let key =
-      ( level,
-        Cnum.tag nlow.vw,
-        nlow.vt.vid,
-        Cnum.tag nhigh.vw,
-        nhigh.vt.vid )
-    in
-    let node =
-      match Hashtbl.find_opt ctx.Context.v_unique key with
-      | Some node -> node
-      | None ->
-        let node =
-          { vid = ctx.Context.next_vid; level; v_low = nlow; v_high = nhigh }
-        in
-        ctx.Context.next_vid <- ctx.Context.next_vid + 1;
-        ctx.Context.stats.v_nodes_created <-
-          ctx.Context.stats.v_nodes_created + 1;
-        Hashtbl.add ctx.Context.v_unique key node;
-        node
-    in
-    { vw = pivot; vt = node }
-  end
+  Hashcons.V.make ctx.Context.v_unique ~level [| low; high |]
 
 let scale ctx s edge =
   if Cnum.is_exact_zero s || v_is_zero edge then v_zero
@@ -135,19 +100,17 @@ let rec add ctx a b =
       else (b, a)
     in
     let ratio = Context.cnum ctx (Cnum.div b.vw a.vw) in
-    let key = (a.vt.vid, b.vt.vid, Cnum.tag ratio) in
+    let table = ctx.Context.add_v in
+    let k1 = a.vt.vid and k2 = b.vt.vid and k3 = Cnum.tag ratio in
     let unit_result =
-      match Hashtbl.find_opt ctx.Context.add_v_cache key with
-      | Some r ->
-        ctx.Context.stats.add_v.hits <- ctx.Context.stats.add_v.hits + 1;
-        r
+      match Compute_table.find table ~k1 ~k2 ~k3 with
+      | Some r -> r
       | None ->
-        ctx.Context.stats.add_v.misses <- ctx.Context.stats.add_v.misses + 1;
         let na = a.vt and nb = b.vt in
         let low = add ctx na.v_low (scale ctx ratio nb.v_low) in
         let high = add ctx na.v_high (scale ctx ratio nb.v_high) in
         let r = make ctx na.level low high in
-        Hashtbl.add ctx.Context.add_v_cache key r;
+        Compute_table.store table ~k1 ~k2 ~k3 r;
         r
     in
     scale ctx a.vw unit_result
@@ -157,8 +120,9 @@ let dot ctx a b =
   let rec unit_dot na nb =
     if v_is_terminal na then Cnum.one
     else
-      let key = (na.vid, nb.vid) in
-      match Hashtbl.find_opt ctx.Context.dot_cache key with
+      match
+        Compute_table.find ctx.Context.dot ~k1:na.vid ~k2:nb.vid ~k3:0
+      with
       | Some r -> r
       | None ->
         let part ea eb =
@@ -171,7 +135,7 @@ let dot ctx a b =
         let r =
           Cnum.add (part na.v_low nb.v_low) (part na.v_high nb.v_high)
         in
-        Hashtbl.add ctx.Context.dot_cache key r;
+        Compute_table.store ctx.Context.dot ~k1:na.vid ~k2:nb.vid ~k3:0 r;
         r
   in
   if v_is_zero a || v_is_zero b then Cnum.zero
@@ -214,7 +178,9 @@ let approx_equal_array ?(tol = 1e-9) xs ys =
 let rec node_max_magnitude ctx node =
   if v_is_terminal node then 1.
   else
-    match Hashtbl.find_opt ctx.Context.max_mag_cache node.vid with
+    match
+      Compute_table.find ctx.Context.max_mag ~k1:node.vid ~k2:0 ~k3:0
+    with
     | Some x -> x
     | None ->
       let part e =
@@ -222,7 +188,7 @@ let rec node_max_magnitude ctx node =
         else Cnum.mag e.vw *. node_max_magnitude ctx e.vt
       in
       let x = Float.max (part node.v_low) (part node.v_high) in
-      Hashtbl.add ctx.Context.max_mag_cache node.vid x;
+      Compute_table.store ctx.Context.max_mag ~k1:node.vid ~k2:0 ~k3:0 x;
       x
 
 let top_amplitudes ctx ~n k edge =

@@ -76,6 +76,53 @@ let test_gc_mid_simulation_equivalence () =
     (Dd.Vdd.to_array (Dd_sim.Engine.state plain) ~n:6)
     (Dd.Vdd.to_array (Dd_sim.Engine.state collected) ~n:6)
 
+let test_collect_keeps_caches_warm () =
+  (* generation-aware sweeping: a compute-table entry whose operands and
+     result survive the collection must still hit afterwards *)
+  let ctx = fresh_ctx () in
+  let engine = Dd_sim.Engine.create ~context:ctx 4 in
+  let gate = Dd_sim.Engine.gate_dd engine (Gate.h 2) in
+  let v = Dd_sim.Engine.state engine in
+  ignore (Dd.Mdd.apply ctx gate v);
+  ignore (Dd.Context.collect ctx ~v_roots:[ v ] ~m_roots:[ gate ]);
+  let stats () = Dd.Compute_table.stats ctx.Dd.Context.mul_mv in
+  check_bool "entries survive the collection" true
+    ((stats ()).Dd.Compute_table.entries > 0);
+  let hits_before = (stats ()).Dd.Compute_table.hits in
+  ignore (Dd.Mdd.apply ctx gate v);
+  check_bool "repeating the multiplication still hits after GC" true
+    ((stats ()).Dd.Compute_table.hits > hits_before)
+
+let test_auto_gc_cache_hit_rate () =
+  (* a guarded run that actually collects must keep a non-zero hit rate:
+     wholesale cache flushing on every collection would show up here *)
+  let ctx = fresh_ctx () in
+  let engine = Dd_sim.Engine.create ~context:ctx 6 in
+  let guard = Dd_sim.Guard.make ~gc_high_water:64 () in
+  Dd_sim.Engine.run ~guard engine
+    (Standard.random_circuit ~seed:13 ~qubits:6 ~gates:120 ());
+  let stats = Dd_sim.Engine.stats engine in
+  check_bool "auto-GC actually fired" true
+    (stats.Dd_sim.Sim_stats.auto_gcs > 0);
+  check_bool "collections recorded in kernel stats" true
+    ((Dd.Context.gc_stats ctx).Dd.Context.collections > 0);
+  check_bool "gc pause accounted" true
+    (stats.Dd_sim.Sim_stats.gc_pause_seconds >= 0.);
+  check_bool "compute caches stayed warm across collections" true
+    (Dd.Compute_table.hit_rate ctx.Dd.Context.mul_mv > 0.)
+
+let test_identity_cache_survives_collect () =
+  let ctx = fresh_ctx () in
+  let identity = Dd.Mdd.identity ctx 4 in
+  let cached_before = Hashtbl.length ctx.Dd.Context.identity_cache in
+  check_bool "identity is cached" true (cached_before > 0);
+  (* no explicit roots: the identity cache itself roots its entries *)
+  ignore (Dd.Context.collect ctx ~v_roots:[] ~m_roots:[]);
+  check_int "identity cache entries survive" cached_before
+    (Hashtbl.length ctx.Dd.Context.identity_cache);
+  check_bool "cached identity edge is still canonical" true
+    (Dd.Mdd.equal identity (Dd.Mdd.identity ctx 4))
+
 let test_collect_empty_roots () =
   let ctx = fresh_ctx () in
   ignore (Dd.Vdd.basis ctx ~n:3 1);
@@ -95,4 +142,10 @@ let suite =
     Alcotest.test_case "gc_mid_simulation" `Quick
       test_gc_mid_simulation_equivalence;
     Alcotest.test_case "collect_empty_roots" `Quick test_collect_empty_roots;
+    Alcotest.test_case "caches_stay_warm" `Quick
+      test_collect_keeps_caches_warm;
+    Alcotest.test_case "auto_gc_hit_rate" `Quick
+      test_auto_gc_cache_hit_rate;
+    Alcotest.test_case "identity_cache_survives" `Quick
+      test_identity_cache_survives_collect;
   ]

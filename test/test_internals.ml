@@ -10,18 +10,19 @@ let test_heights () =
   check_int "identity height" 4
     (Dd.Types.m_height (Dd.Mdd.identity ctx 4))
 
+let mul_mv_stats ctx = Dd.Compute_table.stats ctx.Dd.Context.mul_mv
+
 let test_cache_counters_move () =
   let ctx = fresh_ctx () in
   Dd.Context.reset_stats ctx;
   let engine = Dd_sim.Engine.create ~context:ctx 5 in
   Dd_sim.Engine.run engine (Standard.ghz 5);
-  let stats = ctx.Dd.Context.stats in
+  let s = mul_mv_stats ctx in
   check_bool "mul_mv cache was exercised" true
-    (stats.Dd.Context.mul_mv.Dd.Context.hits
-     + stats.Dd.Context.mul_mv.Dd.Context.misses
-    > 0);
-  check_bool "nodes were created" true
-    (stats.Dd.Context.v_nodes_created > 0)
+    (s.Dd.Compute_table.lookups > 0);
+  check_int "hits + misses = lookups" s.Dd.Compute_table.lookups
+    (s.Dd.Compute_table.hits + s.Dd.Compute_table.misses);
+  check_bool "nodes were created" true (Dd.Context.v_unique_size ctx > 0)
 
 let test_cache_hits_on_repetition () =
   let ctx = fresh_ctx () in
@@ -29,9 +30,9 @@ let test_cache_hits_on_repetition () =
   let gate = Dd_sim.Engine.gate_dd engine (Gate.h 2) in
   let v = Dd_sim.Engine.state engine in
   ignore (Dd.Mdd.apply ctx gate v);
-  let before = ctx.Dd.Context.stats.Dd.Context.mul_mv.Dd.Context.hits in
+  let before = (mul_mv_stats ctx).Dd.Compute_table.hits in
   ignore (Dd.Mdd.apply ctx gate v);
-  let after = ctx.Dd.Context.stats.Dd.Context.mul_mv.Dd.Context.hits in
+  let after = (mul_mv_stats ctx).Dd.Compute_table.hits in
   check_bool "repeating a multiplication hits the cache" true (after > before)
 
 let test_clear_caches_forgets () =
@@ -41,9 +42,9 @@ let test_clear_caches_forgets () =
   let v = Dd_sim.Engine.state engine in
   ignore (Dd.Mdd.apply ctx gate v);
   Dd.Context.clear_compute_caches ctx;
-  let misses_before = ctx.Dd.Context.stats.Dd.Context.mul_mv.Dd.Context.misses in
+  let misses_before = (mul_mv_stats ctx).Dd.Compute_table.misses in
   ignore (Dd.Mdd.apply ctx gate v);
-  let misses_after = ctx.Dd.Context.stats.Dd.Context.mul_mv.Dd.Context.misses in
+  let misses_after = (mul_mv_stats ctx).Dd.Compute_table.misses in
   check_bool "cleared cache misses again" true (misses_after > misses_before)
 
 let test_pp_stats_renders () =

@@ -26,6 +26,7 @@ let () =
       ("equivalence", Test_equivalence.suite);
       ("repeats", Test_repeats.suite);
       ("observable", Test_observable.suite);
+      ("compute_table", Test_compute_table.suite);
       ("gc", Test_gc.suite);
       ("internals", Test_internals.suite);
       ("plot", Test_plot.suite);

@@ -111,7 +111,10 @@ let test_mcz_mixed_polarity () =
 let test_gate_rejects_bad_input () =
   let ctx = fresh_ctx () in
   Alcotest.check_raises "control = target"
-    (Invalid_argument "Mdd.gate: control equals target") (fun () ->
+    (Dd.Dd_error.Error
+       (Dd.Dd_error.Invalid_operand
+          { operation = "Mdd.gate"; message = "control equals target" }))
+    (fun () ->
       ignore
         (Dd.Mdd.gate ctx ~n:2 ~target:0
            ~controls:[ { Dd.Mdd.c_qubit = 0; c_positive = true } ]

@@ -191,6 +191,22 @@ let suite =
 
 (* properties of the tooling layer, appended; suite re-exported *)
 
+(* [Optimize.drop_identities] is documented to be free to change the
+   global phase (it removes e^{i.phi}*I gates), so the optimizer is only
+   required to preserve semantics up to one: align both states on the
+   first non-negligible reference amplitude before comparing. *)
+let arrays_close_up_to_phase xs ys =
+  Array.length xs = Array.length ys
+  &&
+  let pivot = ref (-1) in
+  Array.iteri
+    (fun i x -> if !pivot < 0 && not (Cnum.approx_zero ~tol:1e-8 x) then pivot := i)
+    xs;
+  if !pivot < 0 then arrays_close xs ys
+  else
+    let phase = Cnum.div ys.(!pivot) xs.(!pivot) in
+    Array.for_all2 (fun a b -> close (Cnum.mul phase a) b) xs ys
+
 let prop_optimizer_preserves_semantics =
   QCheck.Test.make ~name:"optimizer preserves circuit semantics" ~count:40
     (circuit_arb ~qubits:4 ~gates:30)
@@ -201,7 +217,7 @@ let prop_optimizer_preserves_semantics =
         Dense_state.run state circuit;
         Dense_state.to_array state
       in
-      arrays_close (dense circuit) (dense optimized))
+      arrays_close_up_to_phase (dense circuit) (dense optimized))
 
 let prop_optimizer_never_grows =
   QCheck.Test.make ~name:"optimizer never increases the gate count"

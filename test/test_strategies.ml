@@ -179,7 +179,10 @@ let test_degenerate_strategy_strings_rejected () =
 let test_invalid_strategy_rejected () =
   let engine = Dd_sim.Engine.create 2 in
   Alcotest.check_raises "k=0"
-    (Invalid_argument "Strategy: k must be >= 1") (fun () ->
+    (Dd_sim.Error.Error
+       (Dd_sim.Error.Invalid_parameter
+          { what = "Strategy"; message = "k must be >= 1 (got 0)" }))
+    (fun () ->
       Dd_sim.Engine.run
         ~strategy:(Dd_sim.Strategy.K_operations 0)
         engine (Standard.bell ()))
