@@ -7,13 +7,19 @@
      Table I  - grover benchmarks: sota / general / DD-repeating
      Table II - shor benchmarks: sota / general / DD-construct
 
-   Usage: dune exec bench/main.exe [-- fig5|fig8|fig9|table1|table2|ablation|backends|guard|kernel|kernel-smoke|bechamel]*
+   Usage: dune exec bench/main.exe [-- fig5|fig8|fig9|table1|table2|ablation|backends|guard|kernel|kernel-smoke|apply|apply-smoke|bechamel]*
                                    [-- --paper]
 
    [kernel] runs the shipped benchmarks/ circuits with a low GC
    high-water mark and records per-compute-table hit rates, evictions and
    GC pauses to BENCH_kernel.json; [kernel-smoke] is the single-run CI
-   variant.
+   variant (written to BENCH_kernel_smoke.json so the committed full
+   matrix is never clobbered).
+
+   [apply] A/B-measures the structured-apply fast path against the
+   explicit-gate-DD path (BENCH_apply.json); [apply-smoke] is the small
+   CI variant (BENCH_apply_smoke.json), whose fast and generic sequential
+   runs must agree on the final state DD node-for-node.
 
    With no arguments every experiment runs on default (laptop-scale)
    instances.  [--paper] switches to the paper's instance sizes — expect
@@ -645,8 +651,11 @@ let kernel_run_json ~benchmark ~strategy =
     gc.Dd.Context.pause_total stats.Dd_sim.Sim_stats.gc_reclaimed_nodes
     tables
 
+(* the smoke variant writes to its own file so a CI run can never clobber
+   the committed full-matrix BENCH_kernel.json *)
 let kernel ~smoke () =
-  Printf.printf "\n=== Kernel observability (BENCH_kernel.json) ===\n";
+  let out = if smoke then "BENCH_kernel_smoke.json" else "BENCH_kernel.json" in
+  Printf.printf "\n=== Kernel observability (%s) ===\n" out;
   let benchmarks =
     if smoke then [ "ghz_12" ]
     else [ "ghz_12"; "qft_8"; "bv_16_42"; "random_6_80" ]
@@ -674,10 +683,128 @@ let kernel ~smoke () =
        \  \"runs\": [\n%s\n  ]\n}\n"
       (String.concat ",\n" runs)
   in
-  let oc = open_out "BENCH_kernel.json" in
+  let oc = open_out out in
   output_string oc json;
   close_out oc;
-  Printf.printf "  wrote BENCH_kernel.json (%d runs)\n" (List.length runs)
+  Printf.printf "  wrote %s (%d runs)\n" out (List.length runs)
+
+(* ------------------------------------------------------------------ *)
+(* Structured-apply fast path: BENCH_apply.json                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Each circuit runs three ways: sequential with the structured-apply
+   kernel (the default), sequential through explicit gate DDs
+   (--no-fused-apply), and a k-operations window run (where only the
+   sequential tails of breached windows can use the fast path).  The
+   fast and generic sequential runs must agree on the final state DD
+   exactly; CI checks that invariant on the smoke variant. *)
+
+let apply_run_json ~circuit_name ~mode ~strategy ~fused circuit =
+  (* best of three, each in a fresh package instance (same policy as
+     [timed_run]); counters are identical across repetitions, so they are
+     reported from the last one *)
+  let one () =
+    let ctx = Dd.Context.create () in
+    let engine =
+      Dd_sim.Engine.create ~context:ctx Circuit.(circuit.qubits)
+    in
+    Dd_sim.Engine.set_fused_apply engine fused;
+    let (), seconds =
+      wall (fun () -> Dd_sim.Engine.run ~strategy engine circuit)
+    in
+    (ctx, engine, seconds)
+  in
+  let _, _, t1 = one () in
+  let _, _, t2 = one () in
+  let ctx, engine, t3 = one () in
+  let seconds = min t1 (min t2 t3) in
+  let stats = Dd_sim.Engine.stats engine in
+  let table name =
+    List.find
+      (fun (s : Dd.Compute_table.stats) -> s.Dd.Compute_table.table = name)
+      (Dd.Context.table_stats ctx)
+  in
+  let mul_mv = table "mul_mv" and apply = table "apply" in
+  let apply_hit_rate =
+    if apply.Dd.Compute_table.lookups = 0 then 0.
+    else
+      float_of_int apply.Dd.Compute_table.hits
+      /. float_of_int apply.Dd.Compute_table.lookups
+  in
+  Printf.sprintf
+    "    {\n\
+     \      \"circuit\": %S,\n\
+     \      \"mode\": %S,\n\
+     \      \"strategy\": %S,\n\
+     \      \"fused\": %b,\n\
+     \      \"wall_seconds\": %.6f,\n\
+     \      \"final_state_nodes\": %d,\n\
+     \      \"mat_vec_mults\": %d,\n\
+     \      \"fast_path_applies\": %d,\n\
+     \      \"generic_applies\": %d,\n\
+     \      \"mul_mv_lookups\": %d,\n\
+     \      \"apply_lookups\": %d,\n\
+     \      \"apply_hits\": %d,\n\
+     \      \"apply_hit_rate\": %.6f,\n\
+     \      \"apply_evictions\": %d\n\
+     \    }"
+    circuit_name mode
+    (Dd_sim.Strategy.to_string strategy)
+    fused seconds
+    (Dd_sim.Engine.state_node_count engine)
+    stats.Dd_sim.Sim_stats.mat_vec_mults
+    stats.Dd_sim.Sim_stats.fast_path_applies
+    stats.Dd_sim.Sim_stats.generic_applies mul_mv.Dd.Compute_table.lookups
+    apply.Dd.Compute_table.lookups apply.Dd.Compute_table.hits apply_hit_rate
+    apply.Dd.Compute_table.evictions
+
+let apply_bench ~smoke () =
+  let out = if smoke then "BENCH_apply_smoke.json" else "BENCH_apply.json" in
+  Printf.printf "\n=== Structured-apply fast path (%s) ===\n" out;
+  let circuits =
+    if smoke then
+      [
+        ("ghz_12", Standard.ghz 12);
+        ("qft_8", Qft.circuit 8);
+        ("grover_8", Grover.circuit ~n:8 ~marked:5 ());
+      ]
+    else
+      [
+        ("ghz_20", Standard.ghz 20);
+        ("qft_14", Qft.circuit 14);
+        ("grover_16", Grover.circuit ~n:16 ~marked:12345 ());
+        ("supremacy_4x4_8", Supremacy.circuit ~rows:4 ~cols:4 ~cycles:8 ());
+      ]
+  in
+  let modes =
+    [
+      ("seq_fast", Dd_sim.Strategy.Sequential, true);
+      ("seq_generic", Dd_sim.Strategy.Sequential, false);
+      ("k4_fast", Dd_sim.Strategy.K_operations 4, true);
+    ]
+  in
+  let runs =
+    List.concat_map
+      (fun (circuit_name, circuit) ->
+        List.map
+          (fun (mode, strategy, fused) ->
+            Printf.printf "  %s / %s\n" circuit_name mode;
+            flush stdout;
+            apply_run_json ~circuit_name ~mode ~strategy ~fused circuit)
+          modes)
+      circuits
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+       \  \"schema\": \"ddsim-apply-bench-1\",\n\
+       \  \"runs\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" runs)
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s (%d runs)\n" out (List.length runs)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure            *)
@@ -778,11 +905,16 @@ let () =
   timed "ablation" (fun () -> ablation ());
   timed "backends" (fun () -> backends ());
   timed "guard" (fun () -> guard_overhead ());
-  (* kernel-smoke is CI-only and never part of the default sweep *)
+  (* the -smoke variants are CI-only and never part of the default sweep *)
   if List.mem "kernel-smoke" selected then begin
     let (), seconds = wall (fun () -> kernel ~smoke:true ()) in
     Printf.printf "[kernel-smoke completed in %.1f s]\n" seconds
   end
   else timed "kernel" (fun () -> kernel ~smoke:false ());
+  if List.mem "apply-smoke" selected then begin
+    let (), seconds = wall (fun () -> apply_bench ~smoke:true ()) in
+    Printf.printf "[apply-smoke completed in %.1f s]\n" seconds
+  end
+  else timed "apply" (fun () -> apply_bench ~smoke:false ());
   timed "bechamel" (fun () -> bechamel_suite ());
   Printf.printf "\ndone.\n"

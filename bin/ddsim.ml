@@ -44,6 +44,14 @@ let samples_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print simulation statistics.")
 
+let no_fused_apply_arg =
+  let doc =
+    "Disable the structured-apply fast path: every gate is materialised \
+     as an explicit n-qubit gate DD and applied with the generic \
+     matrix-vector kernel (A/B measurement and debugging)."
+  in
+  Arg.(value & flag & info [ "no-fused-apply" ] ~doc)
+
 (* resource budgets and checkpointing, shared by run / simulate *)
 
 let max_nodes_arg =
@@ -279,8 +287,9 @@ let construct_arg =
 
 let run_cmd =
   let action algo qubits marked modulus base rows cols cycles gates seed
-      strategy repeating construct samples stats max_nodes max_matrix
-      deadline norm_tol auto_gc checkpoint checkpoint_every resume =
+      strategy repeating construct samples stats no_fused max_nodes
+      max_matrix deadline norm_tol auto_gc checkpoint checkpoint_every
+      resume =
     with_structured_errors @@ fun () ->
     if algo = "shor" then run_shor modulus base strategy construct
     else begin
@@ -289,6 +298,7 @@ let run_cmd =
       in
       Format.printf "%a@." Circuit.pp circuit;
       let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
+      if no_fused then Dd_sim.Engine.set_fused_apply engine false;
       let guard =
         guard_of_options max_nodes max_matrix deadline norm_tol auto_gc
       in
@@ -303,9 +313,9 @@ let run_cmd =
       const action $ algo_arg $ qubits_arg $ marked_arg $ modulus_arg
       $ base_arg $ rows_arg $ cols_arg $ cycles_arg $ gates_arg $ seed_arg
       $ strategy_arg $ repeating_arg $ construct_arg $ samples_arg
-      $ stats_arg $ max_nodes_arg $ max_matrix_arg $ deadline_arg
-      $ norm_tol_arg $ auto_gc_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ resume_arg)
+      $ stats_arg $ no_fused_apply_arg $ max_nodes_arg $ max_matrix_arg
+      $ deadline_arg $ norm_tol_arg $ auto_gc_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a built-in benchmark circuit.") term
 
@@ -326,8 +336,9 @@ let detect_repeats_arg =
            DD-repeating treatment to them.")
 
 let simulate_cmd =
-  let action file strategy seed samples stats detect max_nodes max_matrix
-      deadline norm_tol auto_gc checkpoint checkpoint_every resume =
+  let action file strategy seed samples stats no_fused detect max_nodes
+      max_matrix deadline norm_tol auto_gc checkpoint checkpoint_every
+      resume =
     with_structured_errors @@ fun () ->
     let source =
       let ic = open_in file in
@@ -340,6 +351,7 @@ let simulate_cmd =
     let circuit = if detect then Repeats.detect circuit else circuit in
     Format.printf "%a@." Circuit.pp circuit;
     let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
+    if no_fused then Dd_sim.Engine.set_fused_apply engine false;
     let guard =
       guard_of_options max_nodes max_matrix deadline norm_tol auto_gc
     in
@@ -351,9 +363,9 @@ let simulate_cmd =
   let term =
     Term.(
       const action $ qasm_file_arg $ strategy_arg $ seed_arg $ samples_arg
-      $ stats_arg $ detect_repeats_arg $ max_nodes_arg $ max_matrix_arg
-      $ deadline_arg $ norm_tol_arg $ auto_gc_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_arg)
+      $ stats_arg $ no_fused_apply_arg $ detect_repeats_arg $ max_nodes_arg
+      $ max_matrix_arg $ deadline_arg $ norm_tol_arg $ auto_gc_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate an OpenQASM 2.0 file.") term
 

@@ -29,7 +29,7 @@ let inv_sqrt2 = 1. /. sqrt 2.
 let c re im = Cnum.make re im
 let r x = Cnum.of_float x
 
-let matrix = function
+let build_matrix = function
   | X -> [| Cnum.zero; Cnum.one; Cnum.one; Cnum.zero |]
   | Y -> [| Cnum.zero; c 0. (-1.); c 0. 1.; Cnum.zero |]
   | Z -> [| Cnum.one; Cnum.zero; Cnum.zero; r (-1.) |]
@@ -57,6 +57,53 @@ let matrix = function
   | Phase theta ->
     [| Cnum.one; Cnum.zero; Cnum.zero; Cnum.of_polar 1. theta |]
   | Custom { matrix; label = _ } -> matrix
+
+(* Per-kind memoisation of the 2x2 matrix, so the hot apply path does not
+   re-allocate (and re-evaluate the trigonometry of) the same four complex
+   numbers on every application.  Fixed kinds are keyed by a constructor
+   index, parameterised rotations by (index, angle bits) — bit-exact, so
+   two angles that differ in the last ulp stay distinct.  Custom gates
+   already carry their array and bypass the cache (their label is not a
+   trustworthy identity).  Callers must treat the result as read-only;
+   every in-repo consumer copies before mutating.  The cache is reset if a
+   parameter sweep ever accumulates more distinct angles than
+   [matrix_cache_limit]. *)
+type matrix_key = Fixed of int | Angle of int * int64
+
+let matrix_key = function
+  | X -> Some (Fixed 0)
+  | Y -> Some (Fixed 1)
+  | Z -> Some (Fixed 2)
+  | H -> Some (Fixed 3)
+  | S -> Some (Fixed 4)
+  | Sdg -> Some (Fixed 5)
+  | T -> Some (Fixed 6)
+  | Tdg -> Some (Fixed 7)
+  | Sx -> Some (Fixed 8)
+  | Sxdg -> Some (Fixed 9)
+  | Sy -> Some (Fixed 10)
+  | Sydg -> Some (Fixed 11)
+  | Rx theta -> Some (Angle (12, Int64.bits_of_float theta))
+  | Ry theta -> Some (Angle (13, Int64.bits_of_float theta))
+  | Rz theta -> Some (Angle (14, Int64.bits_of_float theta))
+  | Phase theta -> Some (Angle (15, Int64.bits_of_float theta))
+  | Custom _ -> None
+
+let matrix_cache : (matrix_key, Cnum.t array) Hashtbl.t = Hashtbl.create 64
+let matrix_cache_limit = 4096
+
+let matrix kind =
+  match matrix_key kind with
+  | None -> build_matrix kind
+  | Some key -> (
+    match Hashtbl.find_opt matrix_cache key with
+    | Some m -> m
+    | None ->
+      if Hashtbl.length matrix_cache >= matrix_cache_limit then
+        Hashtbl.reset matrix_cache;
+      let m = build_matrix kind in
+      Hashtbl.add matrix_cache key m;
+      m)
 
 let adjoint_kind = function
   | X -> X

@@ -1,8 +1,10 @@
 let format_magic = "ddsim-checkpoint"
 
 (* version 2: the stats line gained gc_reclaimed_nodes and
-   gc_pause_seconds (the latter as a lossless hex float) *)
-let format_version = 2
+   gc_pause_seconds (the latter as a lossless hex float);
+   version 3: the stats line gained fast_path_applies and
+   generic_applies (the structured-apply dispatch counters) *)
+let format_version = 3
 
 type t = {
   qubits : int;
@@ -53,12 +55,13 @@ let to_string checkpoint =
       Printf.sprintf "strategy %s" (Strategy.to_string checkpoint.strategy);
       Printf.sprintf "rng %s"
         (hex_encode (Marshal.to_string checkpoint.rng []));
-      Printf.sprintf "stats %d %d %d %d %d %d %d %d %d %d %d %h"
+      Printf.sprintf "stats %d %d %d %d %d %d %d %d %d %d %d %d %d %h"
         stats.Sim_stats.mat_vec_mults stats.Sim_stats.mat_mat_mults
         stats.Sim_stats.gates_seen stats.Sim_stats.combined_applications
         stats.Sim_stats.peak_state_nodes stats.Sim_stats.peak_matrix_nodes
         stats.Sim_stats.fallbacks stats.Sim_stats.auto_gcs
         stats.Sim_stats.renormalizations stats.Sim_stats.checkpoints_written
+        stats.Sim_stats.fast_path_applies stats.Sim_stats.generic_applies
         stats.Sim_stats.gc_reclaimed_nodes stats.Sim_stats.gc_pause_seconds;
       "state";
       Dd.Serialize.vector_to_string checkpoint.state;
@@ -111,7 +114,7 @@ let of_string context ?(source = "<string>") text =
           (Printf.sprintf "stats field is not an integer: %S" raw)
     in
     (match field ~name:"stats" stats |> String.split_on_char ' ' with
-    | [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw; gr; gp ] ->
+    | [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw; fp; ga; gr; gp ] ->
       stats_record.Sim_stats.mat_vec_mults <- stats_int mv;
       stats_record.Sim_stats.mat_mat_mults <- stats_int mm;
       stats_record.Sim_stats.gates_seen <- stats_int gs;
@@ -122,6 +125,8 @@ let of_string context ?(source = "<string>") text =
       stats_record.Sim_stats.auto_gcs <- stats_int gc;
       stats_record.Sim_stats.renormalizations <- stats_int rn;
       stats_record.Sim_stats.checkpoints_written <- stats_int cw;
+      stats_record.Sim_stats.fast_path_applies <- stats_int fp;
+      stats_record.Sim_stats.generic_applies <- stats_int ga;
       stats_record.Sim_stats.gc_reclaimed_nodes <- stats_int gr;
       stats_record.Sim_stats.gc_pause_seconds <-
         (match float_of_string_opt gp with
@@ -129,7 +134,7 @@ let of_string context ?(source = "<string>") text =
         | None ->
           invalid ~source
             (Printf.sprintf "stats field is not a float: %S" gp))
-    | _ -> invalid ~source "stats line must carry exactly 12 fields");
+    | _ -> invalid ~source "stats line must carry exactly 14 fields");
     if marker <> "state" then
       invalid ~source (Printf.sprintf "expected \"state\" marker, got %S" marker);
     let state =

@@ -7,6 +7,11 @@ type t = {
   mutable rng_state : Random.State.t;
   stats : Sim_stats.t;
   mutable track_peaks : bool;
+  (* when set (the default), single-target gates applied outside a
+     combination window take the structured fast path (Dd.Apply) instead
+     of building the n-qubit gate DD; [--no-fused-apply] clears it for
+     A/B measurement and debugging *)
+  mutable fused_apply : bool;
 }
 
 let create ?(seed = 0xDD) ?context n =
@@ -23,6 +28,7 @@ let create ?(seed = 0xDD) ?context n =
     rng_state = Random.State.make [| seed |];
     stats = Sim_stats.create ();
     track_peaks = false;
+    fused_apply = true;
   }
 
 let context engine = engine.context
@@ -48,6 +54,8 @@ let reset engine =
   Sim_stats.reset engine.stats
 
 let set_track_peaks engine flag = engine.track_peaks <- flag
+let set_fused_apply engine flag = engine.fused_apply <- flag
+let fused_apply engine = engine.fused_apply
 
 let note_state_peak engine =
   if engine.track_peaks then
@@ -73,12 +81,36 @@ let gate_dd engine (gate : Gate.t) =
 let apply_matrix engine matrix =
   engine.state_edge <- Dd.Mdd.apply engine.context matrix engine.state_edge;
   engine.stats.mat_vec_mults <- engine.stats.mat_vec_mults + 1;
+  engine.stats.generic_applies <- engine.stats.generic_applies + 1;
   note_matrix_peak engine matrix;
   note_state_peak engine
 
+(* Structured fast path: the gate is applied to the state DD directly
+   (Dd.Apply), never materialising the n-qubit gate DD — no identity
+   nodes, no mul_mv traffic.  Still one logical mat-vec, so
+   [mat_vec_mults] counts it alongside [fast_path_applies]. *)
+let apply_structured engine (gate : Gate.t) =
+  let controls =
+    List.map
+      (fun (c : Gate.control) ->
+        { Dd.Apply.qubit = c.qubit; positive = c.positive })
+      gate.controls
+  in
+  engine.state_edge <-
+    Dd.Apply.apply engine.context ~n:engine.n ~target:gate.target ~controls
+      (Gate.matrix gate.kind) engine.state_edge;
+  engine.stats.mat_vec_mults <- engine.stats.mat_vec_mults + 1;
+  engine.stats.fast_path_applies <- engine.stats.fast_path_applies + 1;
+  note_state_peak engine
+
+(* one gate onto the state, honouring the fused-apply switch *)
+let apply_gate_single engine gate =
+  if engine.fused_apply then apply_structured engine gate
+  else apply_matrix engine (gate_dd engine gate)
+
 let apply_gate engine gate =
   engine.stats.gates_seen <- engine.stats.gates_seen + 1;
-  apply_matrix engine (gate_dd engine gate)
+  apply_gate_single engine gate
 
 let multiply_onto engine gate product =
   engine.stats.mat_mat_mults <- engine.stats.mat_mat_mults + 1;
@@ -259,26 +291,30 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
     end;
     write_checkpoint ~force:false ()
   in
+  (* Sequential applications — the Sequential strategy itself and the
+     sequential tail of a breached combination window — go through
+     [apply_gate_single]: with fused apply on, the gate DD is never
+     built.  Combined-window products keep the generic [Mdd] path (the
+     whole point of mat-mat combination is re-using those DDs). *)
   let absorb gate =
     if guarded then deadline_check ();
     engine.stats.gates_seen <- engine.stats.gates_seen + 1;
-    let gate_matrix = gate_dd engine gate in
     match strategy with
     | Strategy.Sequential ->
-      apply_matrix engine gate_matrix;
+      apply_gate_single engine gate;
       incr applied;
       after_state_update ()
     | Strategy.K_operations k ->
       if !fallback_left > 0 then begin
         decr fallback_left;
-        apply_matrix engine gate_matrix;
+        apply_gate_single engine gate;
         incr applied;
         after_state_update ()
       end
       else begin
         (match !pending with
         | None ->
-          pending := Some gate_matrix;
+          pending := Some (gate_dd engine gate);
           pending_count := 1
         | Some product ->
           if matrix_over product then begin
@@ -287,11 +323,11 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
             engine.stats.fallbacks <- engine.stats.fallbacks + 1;
             fallback_left := max 0 (k - !pending_count - 1);
             flush ();
-            apply_matrix engine gate_matrix;
+            apply_gate_single engine gate;
             incr applied
           end
           else begin
-            pending := Some (multiply_onto engine gate_matrix product);
+            pending := Some (multiply_onto engine (gate_dd engine gate) product);
             incr pending_count
           end);
         if !pending_count >= k then flush ();
@@ -300,6 +336,7 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
     | Strategy.Max_size bound ->
       (match !pending with
       | None ->
+        let gate_matrix = gate_dd engine gate in
         pending := Some gate_matrix;
         pending_count := 1;
         if Dd.Mdd.node_count gate_matrix > bound then flush ()
@@ -307,11 +344,11 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
         if matrix_over product then begin
           engine.stats.fallbacks <- engine.stats.fallbacks + 1;
           flush ();
-          apply_matrix engine gate_matrix;
+          apply_gate_single engine gate;
           incr applied
         end
         else begin
-          let product = multiply_onto engine gate_matrix product in
+          let product = multiply_onto engine (gate_dd engine gate) product in
           pending := Some product;
           incr pending_count;
           if Dd.Mdd.node_count product > bound then flush ()

@@ -41,6 +41,13 @@ val set_state : t -> Dd.Vdd.edge -> unit
 val reset : t -> unit
 (** Back to [|0...0>]; statistics are reset too. *)
 
+val set_fused_apply : t -> bool -> unit
+(** Enable/disable the structured-apply fast path (default: enabled).
+    When disabled, every gate goes through the explicit gate DD and the
+    generic [Mdd.apply] — the A/B switch behind [--no-fused-apply]. *)
+
+val fused_apply : t -> bool
+
 val set_track_peaks : t -> bool -> unit
 (** When enabled, {!Sim_stats.t.peak_state_nodes} and [peak_matrix_nodes]
     are maintained (costs a DD traversal per multiplication; off by

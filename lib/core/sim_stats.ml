@@ -1,6 +1,8 @@
 type t = {
   mutable mat_vec_mults : int;
   mutable mat_mat_mults : int;
+  mutable fast_path_applies : int;
+  mutable generic_applies : int;
   mutable gates_seen : int;
   mutable combined_applications : int;
   mutable peak_state_nodes : int;
@@ -17,6 +19,8 @@ let create () =
   {
     mat_vec_mults = 0;
     mat_mat_mults = 0;
+    fast_path_applies = 0;
+    generic_applies = 0;
     gates_seen = 0;
     combined_applications = 0;
     peak_state_nodes = 0;
@@ -32,6 +36,8 @@ let create () =
 let reset stats =
   stats.mat_vec_mults <- 0;
   stats.mat_mat_mults <- 0;
+  stats.fast_path_applies <- 0;
+  stats.generic_applies <- 0;
   stats.gates_seen <- 0;
   stats.combined_applications <- 0;
   stats.peak_state_nodes <- 0;
@@ -48,6 +54,8 @@ let copy stats = { stats with mat_vec_mults = stats.mat_vec_mults }
 let assign dst src =
   dst.mat_vec_mults <- src.mat_vec_mults;
   dst.mat_mat_mults <- src.mat_mat_mults;
+  dst.fast_path_applies <- src.fast_path_applies;
+  dst.generic_applies <- src.generic_applies;
   dst.gates_seen <- src.gates_seen;
   dst.combined_applications <- src.combined_applications;
   dst.peak_state_nodes <- src.peak_state_nodes;
@@ -61,9 +69,10 @@ let assign dst src =
 
 let pp fmt stats =
   Format.fprintf fmt
-    "gates=%d mat-vec=%d mat-mat=%d combined-applications=%d \
-     peak-state-nodes=%d peak-matrix-nodes=%d"
-    stats.gates_seen stats.mat_vec_mults stats.mat_mat_mults
+    "gates=%d mat-vec=%d (fast-path=%d generic=%d) mat-mat=%d \
+     combined-applications=%d peak-state-nodes=%d peak-matrix-nodes=%d"
+    stats.gates_seen stats.mat_vec_mults stats.fast_path_applies
+    stats.generic_applies stats.mat_mat_mults
     stats.combined_applications stats.peak_state_nodes
     stats.peak_matrix_nodes;
   if

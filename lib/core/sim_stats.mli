@@ -7,6 +7,12 @@
 type t = {
   mutable mat_vec_mults : int;
   mutable mat_mat_mults : int;
+  mutable fast_path_applies : int;
+      (** matrix-vector products served by the structured-apply kernel
+          ({!Dd.Apply.apply}) — no gate DD was built *)
+  mutable generic_applies : int;
+      (** matrix-vector products that went through the generic
+          [Mdd.apply] on an explicit matrix DD *)
   mutable gates_seen : int;
   mutable combined_applications : int;
       (** matrix-vector products whose matrix combined >= 2 gates *)

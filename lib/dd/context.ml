@@ -17,11 +17,24 @@ type t = {
   add_m : Types.medge Compute_table.t;
   mul_mv : Types.vedge Compute_table.t;
   mul_mm : Types.medge Compute_table.t;
+  apply_v : Types.vedge Compute_table.t;
   dot : Cnum.t Compute_table.t;
   adjoint : Types.medge Compute_table.t;
   norm : float Compute_table.t;
   max_mag : float Compute_table.t;
   identity_cache : (int, Types.medge) Hashtbl.t;
+  (* Collision-free small-integer keys for the structured-apply compute
+     table: a gate kind is the quadruple of interned 2x2 entry tags, a
+     layout is (target, sorted controls).  Interning instead of bit-packing
+     keeps the compute-table key exact for any qubit count — equal ids
+     imply equal gates, so a stale entry can never answer for a different
+     gate.  Ids are dense and never reused. *)
+  apply_kind_ids : (int * int * int * int, int) Hashtbl.t;
+  apply_layout_ids : (int * (int * bool) list, int) Hashtbl.t;
+  (* node id -> "a hash-cons rebuild of this subtree is bitwise the
+     identity"; intrinsic to the immutable node, computed lazily by the
+     structured-apply kernel (see apply.ml) *)
+  apply_stable : (int, bool) Hashtbl.t;
   gc : gc_stats;
 }
 
@@ -42,11 +55,15 @@ let create ?tolerance ?(cache_bits = default_cache_bits) () =
     add_m = table "add_m" cache_bits Types.m_zero;
     mul_mv = table "mul_mv" cache_bits Types.v_zero;
     mul_mm = table "mul_mm" cache_bits Types.m_zero;
+    apply_v = table "apply" cache_bits Types.v_zero;
     dot = table "dot" small Cnum.zero;
     adjoint = table "adjoint" small Types.m_zero;
     norm = table "norm" cache_bits 0.;
     max_mag = table "max_mag" cache_bits 0.;
     identity_cache = Hashtbl.create 64;
+    apply_kind_ids = Hashtbl.create 64;
+    apply_layout_ids = Hashtbl.create 64;
+    apply_stable = Hashtbl.create 1024;
     gc =
       {
         collections = 0;
@@ -60,11 +77,31 @@ let create ?tolerance ?(cache_bits = default_cache_bits) () =
 
 let cnum ctx z = Ctable.intern ctx.ctable z
 
+(* Dense intern of a structured-apply gate kind / control layout; see the
+   field comments above.  Lookups dominate (a circuit has few distinct
+   gates), so a plain Hashtbl is fine. *)
+let apply_kind_id ctx key =
+  match Hashtbl.find_opt ctx.apply_kind_ids key with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length ctx.apply_kind_ids + 1 in
+    Hashtbl.add ctx.apply_kind_ids key id;
+    id
+
+let apply_layout_id ctx key =
+  match Hashtbl.find_opt ctx.apply_layout_ids key with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length ctx.apply_layout_ids + 1 in
+    Hashtbl.add ctx.apply_layout_ids key id;
+    id
+
 let clear_compute_caches ctx =
   Compute_table.clear ctx.add_v;
   Compute_table.clear ctx.add_m;
   Compute_table.clear ctx.mul_mv;
   Compute_table.clear ctx.mul_mm;
+  Compute_table.clear ctx.apply_v;
   Compute_table.clear ctx.dot;
   Compute_table.clear ctx.adjoint;
   Compute_table.clear ctx.norm;
@@ -81,6 +118,7 @@ let table_stats ctx =
     Compute_table.stats ctx.add_m;
     Compute_table.stats ctx.mul_mv;
     Compute_table.stats ctx.mul_mm;
+    Compute_table.stats ctx.apply_v;
     Compute_table.stats ctx.dot;
     Compute_table.stats ctx.adjoint;
     Compute_table.stats ctx.norm;
@@ -94,6 +132,7 @@ let reset_stats ctx =
   Compute_table.reset_counters ctx.add_m;
   Compute_table.reset_counters ctx.mul_mv;
   Compute_table.reset_counters ctx.mul_mm;
+  Compute_table.reset_counters ctx.apply_v;
   Compute_table.reset_counters ctx.dot;
   Compute_table.reset_counters ctx.adjoint;
   Compute_table.reset_counters ctx.norm;
@@ -188,6 +227,12 @@ let collect ctx ~v_roots ~m_roots =
   dropped
   += Compute_table.sweep ctx.mul_mm ~keep:(fun a b _ v ->
          m_live a && m_live b && m_edge_live v);
+  (* apply_v keys are (state node id, gate kind id, layout id): only the
+     first key word names a node; the other two index intern tables that
+     never shrink, so they are always valid *)
+  dropped
+  += Compute_table.sweep ctx.apply_v ~keep:(fun s _ _ r ->
+         v_live s && v_edge_live r);
   dropped
   += Compute_table.sweep ctx.dot ~keep:(fun a b _ _ -> v_live a && v_live b);
   dropped
@@ -195,6 +240,12 @@ let collect ctx ~v_roots ~m_roots =
          m_live a && m_edge_live v);
   dropped += Compute_table.sweep ctx.norm ~keep:(fun a _ _ _ -> v_live a);
   dropped += Compute_table.sweep ctx.max_mag ~keep:(fun a _ _ _ -> v_live a);
+  (* rebuild-stability flags are intrinsic to their (immutable) nodes and
+     ids are never reused, so stale entries are harmless — dropping the
+     dead ones just returns the memory with the nodes *)
+  Hashtbl.filter_map_inplace
+    (fun id s -> if v_live id then Some s else None)
+    ctx.apply_stable;
   let pause = Unix.gettimeofday () -. t0 in
   let gc = ctx.gc in
   gc.collections <- gc.collections + 1;

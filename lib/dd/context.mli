@@ -24,11 +24,19 @@ type t = {
   add_m : Types.medge Compute_table.t;
   mul_mv : Types.vedge Compute_table.t;
   mul_mm : Types.medge Compute_table.t;
+  apply_v : Types.vedge Compute_table.t;
+      (** structured-apply memo: (state node id, gate kind id, layout id) *)
   dot : Cnum.t Compute_table.t;
   adjoint : Types.medge Compute_table.t;
   norm : float Compute_table.t;
   max_mag : float Compute_table.t;
   identity_cache : (int, Types.medge) Hashtbl.t;
+  apply_kind_ids : (int * int * int * int, int) Hashtbl.t;
+  apply_layout_ids : (int * (int * bool) list, int) Hashtbl.t;
+  apply_stable : (int, bool) Hashtbl.t;
+      (** node id -> "a hash-cons rebuild of this subtree is bitwise the
+          identity"; lazily filled by the structured-apply kernel, swept
+          with the unique table on {!collect} *)
   gc : gc_stats;
 }
 
@@ -40,6 +48,14 @@ val create : ?tolerance:float -> ?cache_bits:int -> unit -> t
 
 val cnum : t -> Cnum.t -> Cnum.t
 (** Intern a complex number in this context's table. *)
+
+val apply_kind_id : t -> int * int * int * int -> int
+(** Dense collision-free id for a structured-apply gate kind — the
+    quadruple of interned 2x2 entry tags.  Equal ids imply equal
+    matrices, so the id is safe as a compute-table key word. *)
+
+val apply_layout_id : t -> int * (int * bool) list -> int
+(** Dense id for a (target, sorted controls) layout; same guarantee. *)
 
 val clear_compute_caches : t -> unit
 (** Drop all memoisation tables (unique tables are kept, so canonicity is

@@ -112,6 +112,8 @@ let test_combine_empty_is_identity () =
     (Dd.Mdd.equal product (Dd.Mdd.identity (Dd_sim.Engine.context engine) 3))
 
 let test_track_peaks () =
+  (* with the fused fast path no gate DD is built, so matrix peaks stay 0;
+     state peaks are tracked either way *)
   let engine = Dd_sim.Engine.create 4 in
   Dd_sim.Engine.set_track_peaks engine true;
   Dd_sim.Engine.run engine
@@ -119,8 +121,16 @@ let test_track_peaks () =
   let stats = Dd_sim.Engine.stats engine in
   check_bool "peak state nodes recorded" true
     (stats.Dd_sim.Sim_stats.peak_state_nodes >= 1);
-  check_bool "peak matrix nodes recorded" true
-    (stats.Dd_sim.Sim_stats.peak_matrix_nodes >= 1)
+  check_int "fused run builds no gate DDs" 0
+    stats.Dd_sim.Sim_stats.peak_matrix_nodes;
+  let generic = Dd_sim.Engine.create 4 in
+  Dd_sim.Engine.set_fused_apply generic false;
+  Dd_sim.Engine.set_track_peaks generic true;
+  Dd_sim.Engine.run generic
+    (Standard.random_circuit ~seed:8 ~qubits:4 ~gates:30 ());
+  let gstats = Dd_sim.Engine.stats generic in
+  check_bool "generic run records matrix peaks" true
+    (gstats.Dd_sim.Sim_stats.peak_matrix_nodes >= 1)
 
 let test_apply_matrix_direct () =
   (* DD-construct style: apply a permutation built directly *)

@@ -27,6 +27,7 @@ let () =
       ("repeats", Test_repeats.suite);
       ("observable", Test_observable.suite);
       ("compute_table", Test_compute_table.suite);
+      ("apply", Test_apply.suite);
       ("gc", Test_gc.suite);
       ("internals", Test_internals.suite);
       ("plot", Test_plot.suite);
