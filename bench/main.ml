@@ -875,6 +875,114 @@ let bechamel_suite () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Trace trajectories: BENCH_trace.json                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One traced run per (circuit, strategy): the per-gate state-DD
+   node-count trajectory — the Fig. 3-style curve, DD size over the
+   *course* of the simulation rather than just at its end — is extracted
+   from the recorded event timeline with the same analysis `ddsim report`
+   uses, then downsampled to a bounded number of points.  Downsampling
+   keeps each bucket's maximum (the peak survives exactly) plus the final
+   point. *)
+
+let downsample_trajectory ~max_points points =
+  let n = List.length points in
+  if n <= max_points then points
+  else begin
+    let samples = Array.of_list points in
+    let bucket = Array.make max_points None in
+    Array.iteri
+      (fun i (g, v) ->
+        let c = i * max_points / n in
+        match bucket.(c) with
+        | Some (_, best) when best >= v -> ()
+        | _ -> bucket.(c) <- Some (g, v))
+      samples;
+    let kept = Array.to_list bucket |> List.filter_map (fun p -> p) in
+    let final = samples.(n - 1) in
+    if List.mem final kept then kept else kept @ [ final ]
+  end
+
+let trace_run_json ~circuit_name ~strategy circuit =
+  let engine = Dd_sim.Engine.create Circuit.(circuit.qubits) in
+  let trace = Obs.Trace.create () in
+  Dd_sim.Engine.set_trace engine trace;
+  let (), seconds =
+    wall (fun () -> Dd_sim.Engine.run ~strategy engine circuit)
+  in
+  let run =
+    {
+      Obs.Trace_report.version = Obs.Trace_export.version;
+      meta = [];
+      events = Array.to_list (Obs.Trace.events trace);
+      dropped = Obs.Trace.dropped trace;
+    }
+  in
+  let trajectory =
+    downsample_trajectory ~max_points:240 (Obs.Trace_report.trajectory run)
+  in
+  let stats = Dd_sim.Engine.stats engine in
+  Printf.sprintf
+    "    {\n\
+     \      \"circuit\": \"%s\",\n\
+     \      \"strategy\": \"%s\",\n\
+     \      \"qubits\": %d,\n\
+     \      \"gates\": %d,\n\
+     \      \"events\": %d,\n\
+     \      \"wall_seconds\": %.6f,\n\
+     \      \"peak_state_nodes\": %d,\n\
+     \      \"final_state_nodes\": %d,\n\
+     \      \"trajectory\": [%s]\n\
+     \    }"
+    circuit_name
+    (Dd_sim.Strategy.to_string strategy)
+    Circuit.(circuit.qubits)
+    (Circuit.gate_count circuit)
+    (Obs.Trace.length trace) seconds
+    stats.Dd_sim.Sim_stats.peak_state_nodes
+    (Dd_sim.Engine.state_node_count engine)
+    (String.concat ","
+       (List.map (fun (g, v) -> Printf.sprintf "[%d,%d]" g v) trajectory))
+
+let trace_bench () =
+  let out = "BENCH_trace.json" in
+  Printf.printf "\n=== Trace trajectories (%s) ===\n" out;
+  let circuits =
+    [
+      ("ghz_20", Standard.ghz 20);
+      ("qft_14", Qft.circuit 14);
+      ("grover_16", Grover.circuit ~n:16 ~marked:12345 ());
+    ]
+  in
+  let strategies =
+    [ Dd_sim.Strategy.Sequential; Dd_sim.Strategy.K_operations 4 ]
+  in
+  let runs =
+    List.concat_map
+      (fun (circuit_name, circuit) ->
+        List.map
+          (fun strategy ->
+            Printf.printf "  %s / %s\n" circuit_name
+              (Dd_sim.Strategy.to_string strategy);
+            flush stdout;
+            trace_run_json ~circuit_name ~strategy circuit)
+          strategies)
+      circuits
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+       \  \"schema\": \"ddsim-trace-bench-1\",\n\
+       \  \"runs\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" runs)
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s (%d runs)\n" out (List.length runs)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -916,5 +1024,6 @@ let () =
     Printf.printf "[apply-smoke completed in %.1f s]\n" seconds
   end
   else timed "apply" (fun () -> apply_bench ~smoke:false ());
+  timed "trace" (fun () -> trace_bench ());
   timed "bechamel" (fun () -> bechamel_suite ());
   Printf.printf "\ndone.\n"

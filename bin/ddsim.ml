@@ -44,6 +44,56 @@ let samples_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print simulation statistics.")
 
+(* tracing and metrics, shared by run / simulate *)
+
+let trace_arg =
+  let doc =
+    "Record a per-operation event timeline (gate applications, \
+     matrix-vector and matrix-matrix multiplications, GC pauses, \
+     fallbacks, checkpoints) and write it to $(docv); see --trace-format."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace file format: $(b,jsonl) (stable line-oriented schema, consumed \
+     by $(b,ddsim report)) or $(b,chrome) (Chrome trace-event JSON, \
+     loadable in Perfetto / chrome://tracing)."
+  in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the unified metrics snapshot after the run.")
+
+let attach_trace engine = function
+  | None -> None
+  | Some path ->
+    let trace = Obs.Trace.create () in
+    Dd_sim.Engine.set_trace engine trace;
+    Some (path, trace)
+
+let export_trace ~format ~meta = function
+  | None -> ()
+  | Some (path, trace) ->
+    let contents =
+      match format with
+      | `Jsonl -> Obs.Trace_export.jsonl ~meta trace
+      | `Chrome -> Obs.Trace_export.chrome ~meta trace
+    in
+    Obs.Trace_export.write_file path contents;
+    Printf.printf "wrote trace %s (%d events, %d dropped)\n" path
+      (Obs.Trace.length trace) (Obs.Trace.dropped trace)
+
+let print_metrics engine =
+  Format.printf "metrics:@.%a@?" Obs.Metrics.pp
+    (Dd_sim.Telemetry.snapshot engine)
+
 let no_fused_apply_arg =
   let doc =
     "Disable the structured-apply fast path: every gate is materialised \
@@ -289,7 +339,7 @@ let run_cmd =
   let action algo qubits marked modulus base rows cols cycles gates seed
       strategy repeating construct samples stats no_fused max_nodes
       max_matrix deadline norm_tol auto_gc checkpoint checkpoint_every
-      resume =
+      resume trace trace_format metrics =
     with_structured_errors @@ fun () ->
     if algo = "shor" then run_shor modulus base strategy construct
     else begin
@@ -299,13 +349,23 @@ let run_cmd =
       Format.printf "%a@." Circuit.pp circuit;
       let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
       if no_fused then Dd_sim.Engine.set_fused_apply engine false;
+      let traced = attach_trace engine trace in
       let guard =
         guard_of_options max_nodes max_matrix deadline norm_tol auto_gc
       in
-      let start = Unix.gettimeofday () in
+      let start = Obs.Clock.now () in
       guarded_run ~use_repeating:repeating engine circuit ~strategy ~guard
         ~checkpoint ~checkpoint_every ~resume;
-      finish engine samples stats (Unix.gettimeofday () -. start)
+      finish engine samples stats (Obs.Clock.now () -. start);
+      export_trace ~format:trace_format
+        ~meta:
+          [
+            ("algo", algo);
+            ("qubits", string_of_int Circuit.(circuit.qubits));
+            ("strategy", Dd_sim.Strategy.to_string strategy);
+          ]
+        traced;
+      if metrics then print_metrics engine
     end
   in
   let term =
@@ -315,7 +375,8 @@ let run_cmd =
       $ strategy_arg $ repeating_arg $ construct_arg $ samples_arg
       $ stats_arg $ no_fused_apply_arg $ max_nodes_arg $ max_matrix_arg
       $ deadline_arg $ norm_tol_arg $ auto_gc_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_arg)
+      $ checkpoint_every_arg $ resume_arg $ trace_arg $ trace_format_arg
+      $ metrics_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a built-in benchmark circuit.") term
 
@@ -338,7 +399,7 @@ let detect_repeats_arg =
 let simulate_cmd =
   let action file strategy seed samples stats no_fused detect max_nodes
       max_matrix deadline norm_tol auto_gc checkpoint checkpoint_every
-      resume =
+      resume trace trace_format metrics =
     with_structured_errors @@ fun () ->
     let source =
       let ic = open_in file in
@@ -352,20 +413,31 @@ let simulate_cmd =
     Format.printf "%a@." Circuit.pp circuit;
     let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
     if no_fused then Dd_sim.Engine.set_fused_apply engine false;
+    let traced = attach_trace engine trace in
     let guard =
       guard_of_options max_nodes max_matrix deadline norm_tol auto_gc
     in
-    let start = Unix.gettimeofday () in
+    let start = Obs.Clock.now () in
     guarded_run ~use_repeating:detect engine circuit ~strategy ~guard
       ~checkpoint ~checkpoint_every ~resume;
-    finish engine samples stats (Unix.gettimeofday () -. start)
+    finish engine samples stats (Obs.Clock.now () -. start);
+    export_trace ~format:trace_format
+      ~meta:
+        [
+          ("file", file);
+          ("qubits", string_of_int Circuit.(circuit.qubits));
+          ("strategy", Dd_sim.Strategy.to_string strategy);
+        ]
+      traced;
+    if metrics then print_metrics engine
   in
   let term =
     Term.(
       const action $ qasm_file_arg $ strategy_arg $ seed_arg $ samples_arg
       $ stats_arg $ no_fused_apply_arg $ detect_repeats_arg $ max_nodes_arg
       $ max_matrix_arg $ deadline_arg $ norm_tol_arg $ auto_gc_arg
-      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ trace_arg
+      $ trace_format_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate an OpenQASM 2.0 file.") term
 
@@ -533,6 +605,32 @@ let plot_cmd =
           benchmark output as an SVG chart.")
     term
 
+(* --- report ---------------------------------------------------------- *)
+
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE.jsonl"
+        ~doc:"JSONL trace written by $(b,run --trace) / $(b,simulate --trace).")
+
+let report_cmd =
+  let action file =
+    match Obs.Trace_report.parse_jsonl (read_source file) with
+    | run -> print_string (Obs.Trace_report.render run)
+    | exception Failure message ->
+      Printf.eprintf "ddsim: %s\n" message;
+      exit 2
+  in
+  let term = Term.(const action $ trace_file_arg) in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Analyse a JSONL trace: per-phase time breakdown and the \
+          per-gate state-DD node-count trajectory (the Fig. 3-style \
+          curve), rendered for the terminal.")
+    term
+
 let () =
   let doc = "decision-diagram based quantum-circuit simulator" in
   let info = Cmd.info "ddsim" ~version:"1.0.0" ~doc in
@@ -540,4 +638,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; simulate_cmd; export_cmd; dot_cmd; optimize_cmd;
-            equiv_cmd; plot_cmd ]))
+            equiv_cmd; plot_cmd; report_cmd ]))

@@ -3,8 +3,13 @@ let format_magic = "ddsim-checkpoint"
 (* version 2: the stats line gained gc_reclaimed_nodes and
    gc_pause_seconds (the latter as a lossless hex float);
    version 3: the stats line gained fast_path_applies and
-   generic_applies (the structured-apply dispatch counters) *)
-let format_version = 3
+   generic_applies (the structured-apply dispatch counters);
+   version 4: the stats line gained trace_events_dropped and
+   wall_time_seconds (hex float).  Readers accept 3 and 4: a v3 stats
+   line simply has no trace/wall fields and restores them as zero. *)
+let format_version = 4
+
+let oldest_readable_version = 3
 
 type t = {
   qubits : int;
@@ -55,14 +60,16 @@ let to_string checkpoint =
       Printf.sprintf "strategy %s" (Strategy.to_string checkpoint.strategy);
       Printf.sprintf "rng %s"
         (hex_encode (Marshal.to_string checkpoint.rng []));
-      Printf.sprintf "stats %d %d %d %d %d %d %d %d %d %d %d %d %d %h"
+      Printf.sprintf "stats %d %d %d %d %d %d %d %d %d %d %d %d %d %h %d %h"
         stats.Sim_stats.mat_vec_mults stats.Sim_stats.mat_mat_mults
         stats.Sim_stats.gates_seen stats.Sim_stats.combined_applications
         stats.Sim_stats.peak_state_nodes stats.Sim_stats.peak_matrix_nodes
         stats.Sim_stats.fallbacks stats.Sim_stats.auto_gcs
         stats.Sim_stats.renormalizations stats.Sim_stats.checkpoints_written
         stats.Sim_stats.fast_path_applies stats.Sim_stats.generic_applies
-        stats.Sim_stats.gc_reclaimed_nodes stats.Sim_stats.gc_pause_seconds;
+        stats.Sim_stats.gc_reclaimed_nodes stats.Sim_stats.gc_pause_seconds
+        stats.Sim_stats.trace_events_dropped
+        stats.Sim_stats.wall_time_seconds;
       "state";
       Dd.Serialize.vector_to_string checkpoint.state;
     ]
@@ -88,8 +95,17 @@ let of_string context ?(source = "<string>") text =
   match lines with
   | header :: qubits :: gate_index :: strategy :: rng :: stats :: marker
     :: state_lines ->
-    if header <> Printf.sprintf "%s %d" format_magic format_version then
-      invalid ~source (Printf.sprintf "bad header %S" header);
+    let version =
+      let ok v =
+        v >= oldest_readable_version && v <= format_version
+      in
+      match String.split_on_char ' ' header with
+      | [ magic; v ] when magic = format_magic -> (
+        match int_of_string_opt v with
+        | Some v when ok v -> v
+        | _ -> invalid ~source (Printf.sprintf "bad header %S" header))
+      | _ -> invalid ~source (Printf.sprintf "bad header %S" header)
+    in
     let qubits = int_field ~name:"qubits" qubits in
     if qubits < 1 then invalid ~source "qubits must be >= 1";
     let gate_index = int_field ~name:"gate_index" gate_index in
@@ -113,8 +129,13 @@ let of_string context ?(source = "<string>") text =
         invalid ~source
           (Printf.sprintf "stats field is not an integer: %S" raw)
     in
-    (match field ~name:"stats" stats |> String.split_on_char ' ' with
-    | [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw; fp; ga; gr; gp ] ->
+    let stats_float raw =
+      match float_of_string_opt raw with
+      | Some v -> v
+      | None ->
+        invalid ~source (Printf.sprintf "stats field is not a float: %S" raw)
+    in
+    let common mv mm gs ca ps pm fb gc rn cw fp ga gr gp =
       stats_record.Sim_stats.mat_vec_mults <- stats_int mv;
       stats_record.Sim_stats.mat_mat_mults <- stats_int mm;
       stats_record.Sim_stats.gates_seen <- stats_int gs;
@@ -128,13 +149,20 @@ let of_string context ?(source = "<string>") text =
       stats_record.Sim_stats.fast_path_applies <- stats_int fp;
       stats_record.Sim_stats.generic_applies <- stats_int ga;
       stats_record.Sim_stats.gc_reclaimed_nodes <- stats_int gr;
-      stats_record.Sim_stats.gc_pause_seconds <-
-        (match float_of_string_opt gp with
-        | Some v -> v
-        | None ->
-          invalid ~source
-            (Printf.sprintf "stats field is not a float: %S" gp))
-    | _ -> invalid ~source "stats line must carry exactly 14 fields");
+      stats_record.Sim_stats.gc_pause_seconds <- stats_float gp
+    in
+    (match
+       (version, field ~name:"stats" stats |> String.split_on_char ' ')
+     with
+    | 3, [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw; fp; ga; gr; gp ] ->
+      common mv mm gs ca ps pm fb gc rn cw fp ga gr gp
+    | 4, [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw; fp; ga; gr; gp; td; wt ]
+      ->
+      common mv mm gs ca ps pm fb gc rn cw fp ga gr gp;
+      stats_record.Sim_stats.trace_events_dropped <- stats_int td;
+      stats_record.Sim_stats.wall_time_seconds <- stats_float wt
+    | 3, _ -> invalid ~source "stats line must carry exactly 14 fields"
+    | _, _ -> invalid ~source "stats line must carry exactly 16 fields");
     if marker <> "state" then
       invalid ~source (Printf.sprintf "expected \"state\" marker, got %S" marker);
     let state =

@@ -12,6 +12,10 @@ type t = {
      of building the n-qubit gate DD; [--no-fused-apply] clears it for
      A/B measurement and debugging *)
   mutable fused_apply : bool;
+  (* event sink; Obs.Trace.null (disabled, zero-cost) unless set_trace
+     attached a live one — every instrumentation site below checks
+     [Obs.Trace.is_on] before computing any event argument *)
+  mutable trace : Obs.Trace.t;
 }
 
 let create ?(seed = 0xDD) ?context n =
@@ -29,6 +33,7 @@ let create ?(seed = 0xDD) ?context n =
     stats = Sim_stats.create ();
     track_peaks = false;
     fused_apply = true;
+    trace = Obs.Trace.null;
   }
 
 let context engine = engine.context
@@ -57,14 +62,23 @@ let set_track_peaks engine flag = engine.track_peaks <- flag
 let set_fused_apply engine flag = engine.fused_apply <- flag
 let fused_apply engine = engine.fused_apply
 
+let set_trace engine trace =
+  engine.trace <- trace;
+  Dd.Context.set_trace engine.context trace
+
+let trace engine = engine.trace
+
+(* A traced run keeps the peaks too: the report cross-checks the
+   trajectory maximum against [peak_state_nodes], and a trace without its
+   aggregate counterpart would leave that unverifiable. *)
 let note_state_peak engine =
-  if engine.track_peaks then
+  if engine.track_peaks || Obs.Trace.is_on engine.trace then
     engine.stats.peak_state_nodes <-
       max engine.stats.peak_state_nodes
         (Dd.Vdd.node_count engine.state_edge)
 
 let note_matrix_peak engine matrix =
-  if engine.track_peaks then
+  if engine.track_peaks || Obs.Trace.is_on engine.trace then
     engine.stats.peak_matrix_nodes <-
       max engine.stats.peak_matrix_nodes (Dd.Mdd.node_count matrix)
 
@@ -78,18 +92,49 @@ let gate_dd engine (gate : Gate.t) =
   Dd.Mdd.gate engine.context ~n:engine.n ~target:gate.target ~controls
     (Gate.matrix gate.kind)
 
+(* Per-op compute-table deltas: each multiplication kind is attributed to
+   its primary memo table (mul_mv / apply / mul_mm).  Recursive helpers
+   (add_v, ...) are not included — the delta answers "did this op hit the
+   memo layer", not "every table the recursion touched". *)
+let table_mark traced table =
+  if traced then (Dd.Compute_table.hits table, Dd.Compute_table.lookups table)
+  else (0, 0)
+
+let table_delta table (hits0, lookups0) =
+  let hits = Dd.Compute_table.hits table - hits0 in
+  let misses = Dd.Compute_table.lookups table - lookups0 - hits in
+  (hits, misses)
+
 let apply_matrix engine matrix =
+  let trace = engine.trace in
+  let traced = Obs.Trace.is_on trace in
+  let t0 = if traced then Obs.Trace.now trace else 0. in
+  let table = engine.context.Dd.Context.mul_mv in
+  let mark = table_mark traced table in
   engine.state_edge <- Dd.Mdd.apply engine.context matrix engine.state_edge;
   engine.stats.mat_vec_mults <- engine.stats.mat_vec_mults + 1;
   engine.stats.generic_applies <- engine.stats.generic_applies + 1;
   note_matrix_peak engine matrix;
-  note_state_peak engine
+  note_state_peak engine;
+  if traced then begin
+    let hits, misses = table_delta table mark in
+    Obs.Trace.span trace Obs.Trace.Mat_vec ~t0
+      ~gate:(Obs.Trace.gate trace)
+      ~state_nodes:(Dd.Vdd.node_count engine.state_edge)
+      ~matrix_nodes:(Dd.Mdd.node_count matrix)
+      ~hits ~misses ~detail:"generic"
+  end
 
 (* Structured fast path: the gate is applied to the state DD directly
    (Dd.Apply), never materialising the n-qubit gate DD — no identity
    nodes, no mul_mv traffic.  Still one logical mat-vec, so
    [mat_vec_mults] counts it alongside [fast_path_applies]. *)
 let apply_structured engine (gate : Gate.t) =
+  let trace = engine.trace in
+  let traced = Obs.Trace.is_on trace in
+  let t0 = if traced then Obs.Trace.now trace else 0. in
+  let table = engine.context.Dd.Context.apply_v in
+  let mark = table_mark traced table in
   let controls =
     List.map
       (fun (c : Gate.control) ->
@@ -101,7 +146,14 @@ let apply_structured engine (gate : Gate.t) =
       (Gate.matrix gate.kind) engine.state_edge;
   engine.stats.mat_vec_mults <- engine.stats.mat_vec_mults + 1;
   engine.stats.fast_path_applies <- engine.stats.fast_path_applies + 1;
-  note_state_peak engine
+  note_state_peak engine;
+  if traced then begin
+    let hits, misses = table_delta table mark in
+    Obs.Trace.span trace Obs.Trace.Mat_vec ~t0
+      ~gate:(Obs.Trace.gate trace)
+      ~state_nodes:(Dd.Vdd.node_count engine.state_edge)
+      ~matrix_nodes:(-1) ~hits ~misses ~detail:"fast"
+  end
 
 (* one gate onto the state, honouring the fused-apply switch *)
 let apply_gate_single engine gate =
@@ -110,12 +162,31 @@ let apply_gate_single engine gate =
 
 let apply_gate engine gate =
   engine.stats.gates_seen <- engine.stats.gates_seen + 1;
-  apply_gate_single engine gate
+  if Obs.Trace.is_on engine.trace then
+    Obs.Trace.set_gate engine.trace (engine.stats.gates_seen - 1);
+  apply_gate_single engine gate;
+  if Obs.Trace.is_on engine.trace then
+    Obs.Trace.instant engine.trace Obs.Trace.Gate_applied
+      ~gate:(Obs.Trace.gate engine.trace)
+      ~state_nodes:(Dd.Vdd.node_count engine.state_edge)
+      ~matrix_nodes:(-1) ~detail:(Gate.name gate)
 
 let multiply_onto engine gate product =
+  let trace = engine.trace in
+  let traced = Obs.Trace.is_on trace in
+  let t0 = if traced then Obs.Trace.now trace else 0. in
+  let table = engine.context.Dd.Context.mul_mm in
+  let mark = table_mark traced table in
   engine.stats.mat_mat_mults <- engine.stats.mat_mat_mults + 1;
   let result = Dd.Mdd.mul engine.context gate product in
   note_matrix_peak engine result;
+  if traced then begin
+    let hits, misses = table_delta table mark in
+    Obs.Trace.span trace Obs.Trace.Mat_mat ~t0
+      ~gate:(Obs.Trace.gate trace) ~state_nodes:(-1)
+      ~matrix_nodes:(Dd.Mdd.node_count result)
+      ~hits ~misses ~detail:""
+  end;
   result
 
 let combine engine gates =
@@ -162,6 +233,8 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
          });
   let ctx = engine.context in
   let guarded = not (Guard.is_none guard) in
+  let trace = engine.trace in
+  let traced = Obs.Trace.is_on trace in
   let pending = ref None in
   let pending_count = ref 0 in
   (* gates whose effect is in the state; the resume point of checkpoints *)
@@ -182,7 +255,12 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
         callback ~gate_index:!applied;
         last_checkpoint := !applied;
         engine.stats.checkpoints_written <-
-          engine.stats.checkpoints_written + 1
+          engine.stats.checkpoints_written + 1;
+        if traced then
+          Obs.Trace.instant trace Obs.Trace.Checkpoint ~gate:!applied
+            ~state_nodes:(Dd.Vdd.node_count engine.state_edge)
+            ~matrix_nodes:(-1)
+            ~detail:(if force then "forced" else "periodic")
       end
   in
   let site () =
@@ -217,9 +295,9 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
     match guard.Guard.deadline with
     | None -> fun () -> ()
     | Some limit ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now () in
       fun () ->
-        let elapsed = Unix.gettimeofday () -. t0 in
+        let elapsed = Obs.Clock.now () -. t0 in
         if elapsed >= limit then abort Error.Deadline ~limit ~actual:elapsed
   in
   let memory_check =
@@ -261,7 +339,13 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
               (Cnum.of_float (1. /. sqrt n2))
               engine.state_edge;
           engine.stats.renormalizations <-
-            engine.stats.renormalizations + 1
+            engine.stats.renormalizations + 1;
+          if traced then
+            Obs.Trace.instant trace Obs.Trace.Renormalize
+              ~gate:(Obs.Trace.gate trace)
+              ~state_nodes:(Dd.Vdd.node_count engine.state_edge)
+              ~matrix_nodes:(-1)
+              ~detail:(Printf.sprintf "norm drifted to %.9f" (sqrt n2))
         end
   in
   let matrix_over =
@@ -273,10 +357,19 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
     match !pending with
     | None -> ()
     | Some product ->
-      if !pending_count > 1 then
+      let combined = !pending_count > 1 in
+      if combined then
         engine.stats.combined_applications <-
           engine.stats.combined_applications + 1;
+      let t0 = if traced then Obs.Trace.now trace else 0. in
       apply_matrix engine product;
+      if traced && combined then
+        Obs.Trace.span trace Obs.Trace.Window_combined ~t0
+          ~gate:(Obs.Trace.gate trace)
+          ~state_nodes:(Dd.Vdd.node_count engine.state_edge)
+          ~matrix_nodes:(Dd.Mdd.node_count product)
+          ~hits:0 ~misses:0
+          ~detail:(Printf.sprintf "%d gates" !pending_count);
       applied := !applied + !pending_count;
       pending := None;
       pending_count := 0
@@ -296,9 +389,19 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
      [apply_gate_single]: with fused apply on, the gate DD is never
      built.  Combined-window products keep the generic [Mdd] path (the
      whole point of mat-mat combination is re-using those DDs). *)
-  let absorb gate =
-    if guarded then deadline_check ();
-    engine.stats.gates_seen <- engine.stats.gates_seen + 1;
+  let note_fallback () =
+    engine.stats.fallbacks <- engine.stats.fallbacks + 1;
+    if traced then
+      Obs.Trace.instant trace Obs.Trace.Fallback
+        ~gate:(Obs.Trace.gate trace)
+        ~state_nodes:(-1)
+        ~matrix_nodes:
+          (match !pending with
+          | Some p -> Dd.Mdd.node_count p
+          | None -> -1)
+        ~detail:"window over matrix budget; degrading to sequential"
+  in
+  let absorb_dispatch gate =
     match strategy with
     | Strategy.Sequential ->
       apply_gate_single engine gate;
@@ -320,7 +423,7 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
           if matrix_over product then begin
             (* graceful degradation: flush the oversized partial product
                and apply the remaining gates of this window one by one *)
-            engine.stats.fallbacks <- engine.stats.fallbacks + 1;
+            note_fallback ();
             fallback_left := max 0 (k - !pending_count - 1);
             flush ();
             apply_gate_single engine gate;
@@ -342,7 +445,7 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
         if Dd.Mdd.node_count gate_matrix > bound then flush ()
       | Some product ->
         if matrix_over product then begin
-          engine.stats.fallbacks <- engine.stats.fallbacks + 1;
+          note_fallback ();
           flush ();
           apply_gate_single engine gate;
           incr applied
@@ -355,8 +458,30 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
         end);
       if Option.is_none !pending then after_state_update ()
   in
+  let absorb gate =
+    if guarded then deadline_check ();
+    engine.stats.gates_seen <- engine.stats.gates_seen + 1;
+    absorb_dispatch gate;
+    if traced then
+      (* node count only when the state actually reflects this gate — a
+         pending window means the effect has not landed yet *)
+      Obs.Trace.instant trace Obs.Trace.Gate_applied
+        ~gate:(Obs.Trace.gate trace)
+        ~state_nodes:
+          (if Option.is_none !pending then
+             Dd.Vdd.node_count engine.state_edge
+           else -1)
+        ~matrix_nodes:
+          (match !pending with
+          | Some p -> Dd.Mdd.node_count p
+          | None -> -1)
+        ~detail:(Gate.name gate)
+  in
   let absorb_or_skip gate =
-    if !cursor >= start_gate then absorb gate;
+    if !cursor >= start_gate then begin
+      if traced then Obs.Trace.set_gate trace !cursor;
+      absorb gate
+    end;
     incr cursor
   in
   let rec walk op =
@@ -386,9 +511,16 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
           block_root := Some block;
           for _ = 1 to !todo do
             if guarded then deadline_check ();
+            if traced then Obs.Trace.set_gate trace (!cursor + len - 1);
             apply_matrix engine block;
             applied := !applied + len;
             cursor := !cursor + len;
+            if traced then
+              Obs.Trace.instant trace Obs.Trace.Window_combined
+                ~gate:(!cursor - 1)
+                ~state_nodes:(Dd.Vdd.node_count engine.state_edge)
+                ~matrix_nodes:(Dd.Mdd.node_count block)
+                ~detail:(Printf.sprintf "repeat block of %d gates" len);
             after_state_update ()
           done;
           block_root := None
@@ -402,10 +534,20 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
     let circuit = Circuit.create ~qubits:engine.n body in
     Circuit.flatten circuit
   in
-  List.iter walk Circuit.(circuit.ops);
-  flush ();
-  if Option.is_none on_checkpoint then ()
-  else if !applied > !last_checkpoint then write_checkpoint ~force:true ()
+  let run_t0 = Obs.Clock.now () in
+  (* wall time and the dropped-event count must survive a structured
+     abort (budget exhaustion raises out of [walk]) *)
+  Fun.protect
+    ~finally:(fun () ->
+      engine.stats.wall_time_seconds <-
+        engine.stats.wall_time_seconds +. (Obs.Clock.now () -. run_t0);
+      if traced then
+        engine.stats.trace_events_dropped <- Obs.Trace.dropped trace)
+    (fun () ->
+      List.iter walk Circuit.(circuit.ops);
+      flush ();
+      if Option.is_none on_checkpoint then ()
+      else if !applied > !last_checkpoint then write_checkpoint ~force:true ())
 
 let amplitude engine index =
   Dd.Vdd.amplitude engine.state_edge ~n:engine.n index
@@ -424,6 +566,11 @@ let measure_qubit engine ~qubit =
       engine.state_edge ~qubit
   in
   engine.state_edge <- collapsed;
+  if Obs.Trace.is_on engine.trace then
+    Obs.Trace.instant engine.trace Obs.Trace.Measure ~gate:(-1)
+      ~state_nodes:(Dd.Vdd.node_count engine.state_edge)
+      ~matrix_nodes:(-1)
+      ~detail:(Printf.sprintf "qubit %d -> %d" qubit (Bool.to_int outcome));
   outcome
 
 let measure_all engine =

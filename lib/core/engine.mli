@@ -51,7 +51,17 @@ val fused_apply : t -> bool
 val set_track_peaks : t -> bool -> unit
 (** When enabled, {!Sim_stats.t.peak_state_nodes} and [peak_matrix_nodes]
     are maintained (costs a DD traversal per multiplication; off by
-    default). *)
+    default).  An attached enabled trace implies peak tracking. *)
+
+val set_trace : t -> Obs.Trace.t -> unit
+(** Attach an event sink to the engine *and* its DD context: gate
+    applications, multiplications, window flushes, fallbacks,
+    renormalizations, checkpoints, measurements and garbage collections
+    are recorded as typed {!Obs.Trace} events.  The default is
+    {!Obs.Trace.null} — disabled, and every instrumentation site reduces
+    to one flag check.  Pass [Obs.Trace.null] to detach. *)
+
+val trace : t -> Obs.Trace.t
 
 val gate_dd : t -> Gate.t -> Dd.Mdd.edge
 (** Build the matrix DD of one elementary gate on this engine's width. *)

@@ -13,6 +13,8 @@ type t = {
   mutable checkpoints_written : int;
   mutable gc_pause_seconds : float;
   mutable gc_reclaimed_nodes : int;
+  mutable wall_time_seconds : float;
+  mutable trace_events_dropped : int;
 }
 
 let create () =
@@ -31,6 +33,8 @@ let create () =
     checkpoints_written = 0;
     gc_pause_seconds = 0.;
     gc_reclaimed_nodes = 0;
+    wall_time_seconds = 0.;
+    trace_events_dropped = 0;
   }
 
 let reset stats =
@@ -47,7 +51,9 @@ let reset stats =
   stats.renormalizations <- 0;
   stats.checkpoints_written <- 0;
   stats.gc_pause_seconds <- 0.;
-  stats.gc_reclaimed_nodes <- 0
+  stats.gc_reclaimed_nodes <- 0;
+  stats.wall_time_seconds <- 0.;
+  stats.trace_events_dropped <- 0
 
 let copy stats = { stats with mat_vec_mults = stats.mat_vec_mults }
 
@@ -65,14 +71,21 @@ let assign dst src =
   dst.renormalizations <- src.renormalizations;
   dst.checkpoints_written <- src.checkpoints_written;
   dst.gc_pause_seconds <- src.gc_pause_seconds;
-  dst.gc_reclaimed_nodes <- src.gc_reclaimed_nodes
+  dst.gc_reclaimed_nodes <- src.gc_reclaimed_nodes;
+  dst.wall_time_seconds <- src.wall_time_seconds;
+  dst.trace_events_dropped <- src.trace_events_dropped
 
 let pp fmt stats =
+  let fast_pct =
+    let total = stats.fast_path_applies + stats.generic_applies in
+    if total = 0 then 0.
+    else 100. *. float_of_int stats.fast_path_applies /. float_of_int total
+  in
   Format.fprintf fmt
-    "gates=%d mat-vec=%d (fast-path=%d generic=%d) mat-mat=%d \
+    "gates=%d mat-vec=%d (fast-path=%d generic=%d, %.1f%% fast) mat-mat=%d \
      combined-applications=%d peak-state-nodes=%d peak-matrix-nodes=%d"
     stats.gates_seen stats.mat_vec_mults stats.fast_path_applies
-    stats.generic_applies stats.mat_mat_mults
+    stats.generic_applies fast_pct stats.mat_mat_mults
     stats.combined_applications stats.peak_state_nodes
     stats.peak_matrix_nodes;
   if
@@ -87,4 +100,8 @@ let pp fmt stats =
   if stats.auto_gcs > 0 || stats.gc_reclaimed_nodes > 0 then
     Format.fprintf fmt " gc-pause=%.3fms gc-reclaimed=%d"
       (1000. *. stats.gc_pause_seconds)
-      stats.gc_reclaimed_nodes
+      stats.gc_reclaimed_nodes;
+  if stats.wall_time_seconds > 0. then
+    Format.fprintf fmt " wall=%.3fs" stats.wall_time_seconds;
+  if stats.trace_events_dropped > 0 then
+    Format.fprintf fmt " trace-dropped=%d" stats.trace_events_dropped

@@ -33,6 +33,13 @@ type t = {
           over the engine's automatic and explicit collections *)
   mutable gc_reclaimed_nodes : int;
       (** vector + matrix nodes reclaimed by those collections *)
+  mutable wall_time_seconds : float;
+      (** wall-clock time spent inside {!Engine.run}, cumulative across
+          runs on the same engine; accumulated even when a guard budget
+          aborts the run *)
+  mutable trace_events_dropped : int;
+      (** events the attached {!Obs.Trace} discarded after its buffer
+          reached [max_events]; [0] when tracing is off *)
 }
 
 val create : unit -> t

@@ -1,0 +1,53 @@
+(* absolute assignment, so re-populating a registry replaces readings
+   instead of accumulating them *)
+let set_count registry name v =
+  let c = Obs.Metrics.counter registry name in
+  Obs.Metrics.add c (v - Obs.Metrics.count c)
+
+let set_value registry name v =
+  let g = Obs.Metrics.gauge registry name in
+  Obs.Metrics.set g v
+
+let populate registry engine =
+  let stats = Engine.stats engine in
+  let ctx = Engine.context engine in
+  set_count registry "sim.mat_vec_mults" stats.Sim_stats.mat_vec_mults;
+  set_count registry "sim.mat_mat_mults" stats.Sim_stats.mat_mat_mults;
+  set_count registry "sim.fast_path_applies" stats.Sim_stats.fast_path_applies;
+  set_count registry "sim.generic_applies" stats.Sim_stats.generic_applies;
+  set_count registry "sim.gates_seen" stats.Sim_stats.gates_seen;
+  set_count registry "sim.combined_applications"
+    stats.Sim_stats.combined_applications;
+  set_count registry "sim.peak_state_nodes" stats.Sim_stats.peak_state_nodes;
+  set_count registry "sim.peak_matrix_nodes" stats.Sim_stats.peak_matrix_nodes;
+  set_count registry "sim.fallbacks" stats.Sim_stats.fallbacks;
+  set_count registry "sim.auto_gcs" stats.Sim_stats.auto_gcs;
+  set_count registry "sim.renormalizations" stats.Sim_stats.renormalizations;
+  set_count registry "sim.checkpoints_written"
+    stats.Sim_stats.checkpoints_written;
+  set_count registry "sim.trace_events_dropped"
+    stats.Sim_stats.trace_events_dropped;
+  set_value registry "sim.wall_time_seconds" stats.Sim_stats.wall_time_seconds;
+  set_count registry "nodes.live_vector" (Dd.Context.live_v_nodes ctx);
+  set_count registry "nodes.live_matrix" (Dd.Context.live_m_nodes ctx);
+  set_count registry "nodes.created_vector" (Dd.Context.v_unique_size ctx);
+  set_count registry "nodes.created_matrix" (Dd.Context.m_unique_size ctx);
+  List.iter
+    (fun (s : Dd.Compute_table.stats) ->
+      let field suffix = Printf.sprintf "table.%s.%s" s.table suffix in
+      set_count registry (field "hits") s.hits;
+      set_count registry (field "misses") s.misses;
+      set_count registry (field "evictions") s.evictions;
+      set_count registry (field "entries") s.entries)
+    (Dd.Context.table_stats ctx);
+  let gc = Dd.Context.gc_stats ctx in
+  set_count registry "gc.collections" gc.Dd.Context.collections;
+  set_value registry "gc.pause_seconds" gc.Dd.Context.pause_total;
+  set_count registry "gc.reclaimed_vector_nodes" gc.Dd.Context.v_reclaimed_total;
+  set_count registry "gc.reclaimed_matrix_nodes" gc.Dd.Context.m_reclaimed_total;
+  set_count registry "gc.entries_invalidated" gc.Dd.Context.entries_invalidated
+
+let snapshot engine =
+  let registry = Obs.Metrics.create () in
+  populate registry engine;
+  Obs.Metrics.snapshot registry

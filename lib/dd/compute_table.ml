@@ -150,6 +150,9 @@ let stats (t : 'v t) : stats =
     generation = t.generation;
   }
 
+let hits (t : _ t) = t.hits
+let lookups (t : _ t) = t.lookups
+
 let hit_rate (t : _ t) =
   if t.lookups = 0 then 0. else float_of_int t.hits /. float_of_int t.lookups
 

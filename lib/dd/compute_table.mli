@@ -43,6 +43,11 @@ val capacity : 'v t -> int
 val name : 'v t -> string
 val length : 'v t -> int
 val generation : 'v t -> int
+val hits : 'v t -> int
+(** Running hit count — cheap accessor for per-operation deltas, so
+    tracing need not build a full {!stats} record per op. *)
+
+val lookups : 'v t -> int
 val hit_rate : 'v t -> float
 val stats : 'v t -> stats
 val reset_counters : 'v t -> unit

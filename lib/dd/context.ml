@@ -36,6 +36,9 @@ type t = {
      structured-apply kernel (see apply.ml) *)
   apply_stable : (int, bool) Hashtbl.t;
   gc : gc_stats;
+  (* attached by Engine.set_trace; Trace.null (disabled) by default so the
+     kernels never pay more than a flag check *)
+  mutable trace : Obs.Trace.t;
 }
 
 let default_cache_bits = 16
@@ -73,7 +76,10 @@ let create ?tolerance ?(cache_bits = default_cache_bits) () =
         m_reclaimed_total = 0;
         entries_invalidated = 0;
       };
+    trace = Obs.Trace.null;
   }
+
+let set_trace ctx trace = ctx.trace <- trace
 
 let cnum ctx z = Ctable.intern ctx.ctable z
 
@@ -173,7 +179,7 @@ let pp_stats fmt ctx =
    keeps both the cache and the shared substructure of every gate DD
    warm. *)
 let collect ctx ~v_roots ~m_roots =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let v_marked = Hashtbl.create 4096 in
   let m_marked = Hashtbl.create 4096 in
   let rec mark_v (node : Types.vnode) =
@@ -246,7 +252,7 @@ let collect ctx ~v_roots ~m_roots =
   Hashtbl.filter_map_inplace
     (fun id s -> if v_live id then Some s else None)
     ctx.apply_stable;
-  let pause = Unix.gettimeofday () -. t0 in
+  let pause = Obs.Clock.now () -. t0 in
   let gc = ctx.gc in
   gc.collections <- gc.collections + 1;
   gc.last_pause <- pause;
@@ -254,4 +260,13 @@ let collect ctx ~v_roots ~m_roots =
   gc.v_reclaimed_total <- gc.v_reclaimed_total + v_removed;
   gc.m_reclaimed_total <- gc.m_reclaimed_total + m_removed;
   gc.entries_invalidated <- gc.entries_invalidated + !dropped;
+  if Obs.Trace.is_on ctx.trace then
+    Obs.Trace.span ctx.trace Obs.Trace.Gc
+      ~t0:(Obs.Trace.rel ctx.trace t0)
+      ~gate:(Obs.Trace.gate ctx.trace)
+      ~state_nodes:(live_v_nodes ctx) ~matrix_nodes:(live_m_nodes ctx)
+      ~hits:0 ~misses:0
+      ~detail:
+        (Printf.sprintf "reclaimed %d+%d nodes, %d cache entries" v_removed
+           m_removed !dropped);
   (v_removed, m_removed)

@@ -38,6 +38,9 @@ type t = {
           identity"; lazily filled by the structured-apply kernel, swept
           with the unique table on {!collect} *)
   gc : gc_stats;
+  mutable trace : Obs.Trace.t;
+      (** event sink for kernel-level spans ({!collect} emits [Gc]);
+          {!Obs.Trace.null} — disabled, zero-cost — until one is attached *)
 }
 
 val create : ?tolerance:float -> ?cache_bits:int -> unit -> t
@@ -48,6 +51,9 @@ val create : ?tolerance:float -> ?cache_bits:int -> unit -> t
 
 val cnum : t -> Cnum.t -> Cnum.t
 (** Intern a complex number in this context's table. *)
+
+val set_trace : t -> Obs.Trace.t -> unit
+(** Attach an event sink; pass {!Obs.Trace.null} to detach. *)
 
 val apply_kind_id : t -> int * int * int * int -> int
 (** Dense collision-free id for a structured-apply gate kind — the

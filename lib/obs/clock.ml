@@ -1,0 +1,13 @@
+(* Clamped wall clock: monotone non-decreasing.  A single global cell is
+   enough — the simulator is single-threaded, and even under races the
+   worst case is a reading that is slightly too old, never one that goes
+   backwards. *)
+
+let last = ref 0.
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let elapsed ~since = now () -. since

@@ -1,0 +1,19 @@
+(** The simulator's single timebase.
+
+    [Unix.gettimeofday] is wall-clock time: a system clock step (NTP
+    adjustment, suspend/resume) can make it jump backwards, which turned
+    into negative GC pauses and deadline guards that fire early.  The
+    container's OCaml has no monotonic clock source without external
+    packages, so this module provides the next best thing: a clamped wall
+    clock that never goes backwards.  All durations and deadlines in the
+    simulator are measured against it. *)
+
+val now : unit -> float
+(** Seconds, monotone non-decreasing across calls (a backwards wall-clock
+    step is absorbed by repeating the last reading until real time catches
+    up).  The absolute value is Unix epoch seconds, so it is still
+    meaningful in exported traces. *)
+
+val elapsed : since:float -> float
+(** [elapsed ~since:t0] is [now () -. t0]; never negative when [t0] came
+    from {!now}. *)

@@ -1,0 +1,146 @@
+type counter = { mutable count : int }
+type gauge = { mutable reading : float }
+
+(* 64 log2 buckets covering exponents [-32, 31]: index e + 32 *)
+type histogram = {
+  mutable observations : int;
+  mutable sum : float;
+  buckets : int array;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+type t = (string, instrument) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let register (t : t) name make match_existing =
+  match Hashtbl.find_opt t name with
+  | None ->
+    let fresh = make () in
+    Hashtbl.add t name fresh;
+    fresh
+  | Some existing -> (
+    match match_existing existing with
+    | Some instrument -> instrument
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Metrics: %S is already registered as a different kind" name))
+
+let counter t name =
+  match
+    register t name
+      (fun () -> C { count = 0 })
+      (function C _ as c -> Some c | _ -> None)
+  with
+  | C c -> c
+  | _ -> assert false
+
+let gauge t name =
+  match
+    register t name
+      (fun () -> G { reading = 0. })
+      (function G _ as g -> Some g | _ -> None)
+  with
+  | G g -> g
+  | _ -> assert false
+
+let histogram t name =
+  match
+    register t name
+      (fun () -> H { observations = 0; sum = 0.; buckets = Array.make 64 0 })
+      (function H _ as h -> Some h | _ -> None)
+  with
+  | H h -> h
+  | _ -> assert false
+
+let add (c : counter) n = c.count <- c.count + n
+let count (c : counter) = c.count
+let set (g : gauge) v = g.reading <- v
+
+let bucket_exponent v =
+  if v <= 0. then -32
+  else
+    let _, e = Float.frexp v in
+    if e < -32 then -32 else if e > 31 then 31 else e
+
+let observe (h : histogram) v =
+  h.observations <- h.observations + 1;
+  h.sum <- h.sum +. v;
+  let i = bucket_exponent v + 32 in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+type value =
+  | Count of int
+  | Value of float
+  | Histogram of { count : int; sum : float; buckets : (int * int) list }
+
+type snapshot = (string * value) list
+
+let snapshot (t : t) : snapshot =
+  Hashtbl.fold
+    (fun name instrument acc ->
+      let value =
+        match instrument with
+        | C c -> Count c.count
+        | G g -> Value g.reading
+        | H h ->
+          let buckets = ref [] in
+          for i = 63 downto 0 do
+            if h.buckets.(i) > 0 then
+              buckets := (i - 32, h.buckets.(i)) :: !buckets
+          done;
+          Histogram { count = h.observations; sum = h.sum; buckets = !buckets }
+      in
+      (name, value) :: acc)
+    t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let sub_buckets after before =
+  (* both sparse and ascending; subtract pointwise, drop zeros *)
+  let rec go a b =
+    match (a, b) with
+    | rest, [] -> rest
+    | [], (e, n) :: rest -> (e, -n) :: go [] rest
+    | (ea, na) :: ra, (eb, nb) :: rb ->
+      if ea < eb then (ea, na) :: go ra b
+      else if ea > eb then (eb, -nb) :: go a rb
+      else
+        let d = na - nb in
+        if d = 0 then go ra rb else (ea, d) :: go ra rb
+  in
+  go after before
+
+let diff ~before ~after =
+  List.map
+    (fun (name, v_after) ->
+      match (List.assoc_opt name before, v_after) with
+      | Some (Count b), Count a -> (name, Count (a - b))
+      | Some (Value _), Value a -> (name, Value a)
+      | ( Some (Histogram { count = bc; sum = bs; buckets = bb }),
+          Histogram { count = ac; sum = as_; buckets = ab } ) ->
+        ( name,
+          Histogram
+            {
+              count = ac - bc;
+              sum = as_ -. bs;
+              buckets = sub_buckets ab bb;
+            } )
+      | _, v -> (name, v))
+    after
+
+let find (s : snapshot) name = List.assoc_opt name s
+
+let pp fmt (s : snapshot) =
+  List.iter
+    (fun (name, value) ->
+      match value with
+      | Count n -> Format.fprintf fmt "%-36s %d@\n" name n
+      | Value v -> Format.fprintf fmt "%-36s %g@\n" name v
+      | Histogram { count; sum; buckets } ->
+        Format.fprintf fmt "%-36s count=%d sum=%g%s@\n" name count sum
+          (String.concat ""
+             (List.map
+                (fun (e, n) -> Printf.sprintf " 2^%d:%d" e n)
+                buckets)))
+    s
