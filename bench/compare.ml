@@ -1,0 +1,49 @@
+(* Baseline comparator for the committed BENCH_*.json files.
+
+     dune exec bench/compare.exe -- --baseline BENCH_apply_smoke.json \
+         fresh_apply_smoke.json [--time-ratio 25] [--count-ratio 0.5] \
+         [--rate-tol 0.3]
+
+   Exits 1 on any regression (see Obs.Bench_check for the metric
+   classes); `ddsim bench-check` is the same comparator behind the main
+   CLI. *)
+
+let read_file path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+let () =
+  let baseline = ref "" in
+  let candidate = ref "" in
+  let tol = ref Obs.Bench_check.default in
+  let spec =
+    [
+      ( "--baseline",
+        Arg.String (fun p -> baseline := p),
+        "FILE committed baseline BENCH_*.json" );
+      ( "--time-ratio",
+        Arg.Float (fun r -> tol := { !tol with time_ratio = r }),
+        "R allow candidate times up to R x baseline (default 10)" );
+      ( "--count-ratio",
+        Arg.Float (fun r -> tol := { !tol with count_ratio = r }),
+        "R allowed fractional drift of counter metrics (default 0.1)" );
+      ( "--rate-tol",
+        Arg.Float (fun r -> tol := { !tol with rate_tol = r }),
+        "T absolute tolerance for *_rate metrics (default 0.15)" );
+    ]
+  in
+  let usage = "compare.exe --baseline BASELINE.json CANDIDATE.json" in
+  Arg.parse spec (fun anon -> candidate := anon) usage;
+  if !baseline = "" || !candidate = "" then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let findings =
+    Obs.Bench_check.compare_strings ~tol:!tol
+      ~baseline:(read_file !baseline)
+      (read_file !candidate)
+  in
+  print_string (Obs.Bench_check.render findings);
+  exit (if Obs.Bench_check.regressed findings then 1 else 0)

@@ -94,6 +94,57 @@ let print_metrics engine =
   Format.printf "metrics:@.%a@?" Obs.Metrics.pp
     (Dd_sim.Telemetry.snapshot engine)
 
+let stats_json_arg =
+  let doc =
+    "Write the unified metrics snapshot (counters, gauges, log2 \
+     histograms) to $(docv) as one JSON object after the run."
+  in
+  Arg.(
+    value & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+let write_stats_json engine = function
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Obs.Metrics.to_json (Dd_sim.Telemetry.snapshot engine));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote metrics %s\n" path
+
+(* structural DD profiling, shared by run / simulate *)
+
+let profile_arg =
+  let doc =
+    "Snapshot the state DD's structure (per-level node/edge counts, \
+     weight-magnitude histograms, sharing, identity fraction) during the \
+     run and write a JSONL profile sidecar to $(docv); see \
+     --profile-every and $(b,ddsim diff)."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+let profile_every_arg =
+  let doc =
+    "Snapshot cadence for --profile: profile the state every $(docv) \
+     applied gates (plus once at the end of the run)."
+  in
+  Arg.(value & opt int 1 & info [ "profile-every" ] ~docv:"K" ~doc)
+
+let attach_profile engine ~every = function
+  | None -> None
+  | Some path ->
+    let sink = Obs.Dd_profile.create ~every () in
+    Dd_sim.Engine.set_profile engine sink;
+    Some (path, sink)
+
+let export_profile ~meta = function
+  | None -> ()
+  | Some (path, sink) ->
+    Obs.Trace_export.write_file path (Obs.Dd_profile.jsonl ~meta sink);
+    Printf.printf "wrote profile %s (%d snapshots, %d dropped)\n" path
+      (Obs.Dd_profile.length sink)
+      (Obs.Dd_profile.dropped sink)
+
 let no_fused_apply_arg =
   let doc =
     "Disable the structured-apply fast path: every gate is materialised \
@@ -339,7 +390,7 @@ let run_cmd =
   let action algo qubits marked modulus base rows cols cycles gates seed
       strategy repeating construct samples stats no_fused max_nodes
       max_matrix deadline norm_tol auto_gc checkpoint checkpoint_every
-      resume trace trace_format metrics =
+      resume trace trace_format metrics profile profile_every stats_json =
     with_structured_errors @@ fun () ->
     if algo = "shor" then run_shor modulus base strategy construct
     else begin
@@ -350,6 +401,7 @@ let run_cmd =
       let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
       if no_fused then Dd_sim.Engine.set_fused_apply engine false;
       let traced = attach_trace engine trace in
+      let profiled = attach_profile engine ~every:profile_every profile in
       let guard =
         guard_of_options max_nodes max_matrix deadline norm_tol auto_gc
       in
@@ -357,14 +409,16 @@ let run_cmd =
       guarded_run ~use_repeating:repeating engine circuit ~strategy ~guard
         ~checkpoint ~checkpoint_every ~resume;
       finish engine samples stats (Obs.Clock.now () -. start);
-      export_trace ~format:trace_format
-        ~meta:
-          [
-            ("algo", algo);
-            ("qubits", string_of_int Circuit.(circuit.qubits));
-            ("strategy", Dd_sim.Strategy.to_string strategy);
-          ]
-        traced;
+      let meta =
+        [
+          ("algo", algo);
+          ("qubits", string_of_int Circuit.(circuit.qubits));
+          ("strategy", Dd_sim.Strategy.to_string strategy);
+        ]
+      in
+      export_trace ~format:trace_format ~meta traced;
+      export_profile ~meta profiled;
+      write_stats_json engine stats_json;
       if metrics then print_metrics engine
     end
   in
@@ -376,7 +430,7 @@ let run_cmd =
       $ stats_arg $ no_fused_apply_arg $ max_nodes_arg $ max_matrix_arg
       $ deadline_arg $ norm_tol_arg $ auto_gc_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ trace_arg $ trace_format_arg
-      $ metrics_arg)
+      $ metrics_arg $ profile_arg $ profile_every_arg $ stats_json_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a built-in benchmark circuit.") term
 
@@ -399,7 +453,7 @@ let detect_repeats_arg =
 let simulate_cmd =
   let action file strategy seed samples stats no_fused detect max_nodes
       max_matrix deadline norm_tol auto_gc checkpoint checkpoint_every
-      resume trace trace_format metrics =
+      resume trace trace_format metrics profile profile_every stats_json =
     with_structured_errors @@ fun () ->
     let source =
       let ic = open_in file in
@@ -414,6 +468,7 @@ let simulate_cmd =
     let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
     if no_fused then Dd_sim.Engine.set_fused_apply engine false;
     let traced = attach_trace engine trace in
+    let profiled = attach_profile engine ~every:profile_every profile in
     let guard =
       guard_of_options max_nodes max_matrix deadline norm_tol auto_gc
     in
@@ -421,14 +476,16 @@ let simulate_cmd =
     guarded_run ~use_repeating:detect engine circuit ~strategy ~guard
       ~checkpoint ~checkpoint_every ~resume;
     finish engine samples stats (Obs.Clock.now () -. start);
-    export_trace ~format:trace_format
-      ~meta:
-        [
-          ("file", file);
-          ("qubits", string_of_int Circuit.(circuit.qubits));
-          ("strategy", Dd_sim.Strategy.to_string strategy);
-        ]
-      traced;
+    let meta =
+      [
+        ("file", file);
+        ("qubits", string_of_int Circuit.(circuit.qubits));
+        ("strategy", Dd_sim.Strategy.to_string strategy);
+      ]
+    in
+    export_trace ~format:trace_format ~meta traced;
+    export_profile ~meta profiled;
+    write_stats_json engine stats_json;
     if metrics then print_metrics engine
   in
   let term =
@@ -437,7 +494,8 @@ let simulate_cmd =
       $ stats_arg $ no_fused_apply_arg $ detect_repeats_arg $ max_nodes_arg
       $ max_matrix_arg $ deadline_arg $ norm_tol_arg $ auto_gc_arg
       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ trace_arg
-      $ trace_format_arg $ metrics_arg)
+      $ trace_format_arg $ metrics_arg $ profile_arg $ profile_every_arg
+      $ stats_json_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate an OpenQASM 2.0 file.") term
 
@@ -631,11 +689,198 @@ let report_cmd =
           curve), rendered for the terminal.")
     term
 
+(* --- diff ------------------------------------------------------------ *)
+
+let diff_file_a_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"A.jsonl"
+        ~doc:"First run: a JSONL trace (--trace) or profile (--profile).")
+
+let diff_file_b_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"B.jsonl" ~doc:"Second run, same file family.")
+
+(* both sidecar families are JSONL with a schema-carrying header line;
+   peek at it to decide which parser applies *)
+let sniff_schema path text =
+  let first_line =
+    String.split_on_char '\n' text
+    |> List.find_opt (fun line -> String.trim line <> "")
+  in
+  match first_line with
+  | None ->
+    Printf.eprintf "ddsim: %s: empty file\n" path;
+    exit 2
+  | Some line -> (
+    match Obs.Json.member (Obs.Json.parse line) "schema" with
+    | Some (Obs.Json.Str s) -> s
+    | Some _ | None ->
+      Printf.eprintf "ddsim: %s: header line carries no \"schema\" field\n"
+        path;
+      exit 2
+    | exception Failure message ->
+      Printf.eprintf "ddsim: %s: %s\n" path message;
+      exit 2)
+
+let diff_cmd =
+  let action path_a path_b =
+    let text_a = read_source path_a and text_b = read_source path_b in
+    let schema_a = sniff_schema path_a text_a in
+    let schema_b = sniff_schema path_b text_b in
+    if schema_a <> schema_b then begin
+      Printf.eprintf
+        "ddsim: cannot diff %S against %S (one is a %s, the other a %s)\n"
+        path_a path_b schema_a schema_b;
+      exit 2
+    end;
+    let report =
+      try
+        if schema_a = Obs.Trace_export.schema then
+          Obs.Run_diff.render_traces ~label_a:path_a ~label_b:path_b
+            (Obs.Trace_report.parse_jsonl text_a)
+            (Obs.Trace_report.parse_jsonl text_b)
+        else if schema_a = Obs.Dd_profile.schema then
+          Obs.Run_diff.render_profiles ~label_a:path_a ~label_b:path_b
+            (Obs.Dd_profile.parse_jsonl text_a)
+            (Obs.Dd_profile.parse_jsonl text_b)
+        else begin
+          Printf.eprintf "ddsim: cannot diff schema %S files\n" schema_a;
+          exit 2
+        end
+      with Failure message ->
+        Printf.eprintf "ddsim: %s\n" message;
+        exit 2
+    in
+    print_string report
+  in
+  let term = Term.(const action $ diff_file_a_arg $ diff_file_b_arg) in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two recorded runs (JSONL traces or structural profiles \
+          of the same circuit): first divergence point, node-trajectory \
+          overlay, per-phase time deltas, compute-table hit-rate deltas; \
+          profiles additionally get a per-level breakdown at the \
+          divergence.")
+    term
+
+(* --- bench-check ------------------------------------------------------ *)
+
+let baseline_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:"Committed baseline BENCH_*.json to gate against.")
+
+let bench_candidate_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"CANDIDATE.json"
+        ~doc:"Freshly produced benchmark output, same schema.")
+
+let time_ratio_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "time-ratio" ] ~docv:"R"
+        ~doc:"Allow candidate times up to R x baseline (faster always passes).")
+
+let count_ratio_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "count-ratio" ] ~docv:"R"
+        ~doc:"Allowed fractional drift of counter metrics (node counts, \
+              multiplications, lookups).")
+
+let rate_tol_arg =
+  Arg.(
+    value & opt float 0.15
+    & info [ "rate-tol" ] ~docv:"T"
+        ~doc:"Absolute tolerance for *_rate metrics.")
+
+let bench_check_cmd =
+  let action baseline candidate time_ratio count_ratio rate_tol =
+    let tol = { Obs.Bench_check.time_ratio; count_ratio; rate_tol } in
+    let findings =
+      Obs.Bench_check.compare_strings ~tol
+        ~baseline:(read_source baseline)
+        (read_source candidate)
+    in
+    print_string (Obs.Bench_check.render findings);
+    if Obs.Bench_check.regressed findings then exit 1
+  in
+  let term =
+    Term.(
+      const action $ baseline_arg $ bench_candidate_arg $ time_ratio_arg
+      $ count_ratio_arg $ rate_tol_arg)
+  in
+  Cmd.v
+    (Cmd.info "bench-check"
+       ~doc:
+         "Gate a fresh BENCH_*.json against a committed baseline: runs \
+          are paired by identity, every numeric metric is classified \
+          (time / rate / count) and compared under its tolerance; exits \
+          non-zero on any regression.")
+    term
+
+(* --- inspect ---------------------------------------------------------- *)
+
+let inspect_dot_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:
+          "Also write an annotated DOT rendering of the final state DD \
+           (weight magnitudes with log2 buckets on every edge, rank=same \
+           rows per level) to $(docv).")
+
+let inspect_cmd =
+  let action algo qubits marked rows cols cycles gates seed strategy output =
+    with_structured_errors @@ fun () ->
+    let circuit =
+      circuit_of_options algo qubits marked rows cols cycles gates seed
+    in
+    let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
+    Dd_sim.Engine.run ~strategy engine circuit;
+    Format.printf "%a@?" Dd.Profile.pp
+      (Dd.Profile.vector (Dd_sim.Engine.state engine));
+    match output with
+    | None -> ()
+    | Some file ->
+      let dot =
+        Dd.Dot.vector_to_dot ~annotate:true (Dd_sim.Engine.state engine)
+      in
+      let oc = open_out file in
+      output_string oc dot;
+      close_out oc;
+      Printf.printf "wrote %s (annotated, %d state nodes)\n" file
+        (Dd_sim.Engine.state_node_count engine)
+  in
+  let term =
+    Term.(
+      const action $ algo_arg $ qubits_arg $ marked_arg $ rows_arg $ cols_arg
+      $ cycles_arg $ gates_arg $ seed_arg $ strategy_arg $ inspect_dot_arg)
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Simulate a benchmark and print the structural profile of the \
+          final state DD (per-level nodes/edges, weight-magnitude \
+          histogram, sharing, identity fraction); --dot adds an annotated \
+          Graphviz rendering.")
+    term
+
 let () =
   let doc = "decision-diagram based quantum-circuit simulator" in
   let info = Cmd.info "ddsim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; simulate_cmd; export_cmd; dot_cmd; optimize_cmd;
-            equiv_cmd; plot_cmd; report_cmd ]))
+          [ run_cmd; simulate_cmd; export_cmd; dot_cmd; inspect_cmd;
+            optimize_cmd; equiv_cmd; plot_cmd; report_cmd; diff_cmd;
+            bench_check_cmd ]))

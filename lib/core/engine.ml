@@ -16,6 +16,10 @@ type t = {
      attached a live one — every instrumentation site below checks
      [Obs.Trace.is_on] before computing any event argument *)
   mutable trace : Obs.Trace.t;
+  (* structural-profile sink; Obs.Dd_profile.null (disabled, zero-cost)
+     unless set_profile attached a live one — the cadence probe
+     [Obs.Dd_profile.due] is the first action at every emission site *)
+  mutable profile : Obs.Dd_profile.sink;
 }
 
 let create ?(seed = 0xDD) ?context n =
@@ -34,6 +38,7 @@ let create ?(seed = 0xDD) ?context n =
     track_peaks = false;
     fused_apply = true;
     trace = Obs.Trace.null;
+    profile = Obs.Dd_profile.null;
   }
 
 let context engine = engine.context
@@ -67,6 +72,8 @@ let set_trace engine trace =
   Dd.Context.set_trace engine.context trace
 
 let trace engine = engine.trace
+let set_profile engine sink = engine.profile <- sink
+let profile engine = engine.profile
 
 (* A traced run keeps the peaks too: the report cross-checks the
    trajectory maximum against [peak_state_nodes], and a trace without its
@@ -235,6 +242,8 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
   let guarded = not (Guard.is_none guard) in
   let trace = engine.trace in
   let traced = Obs.Trace.is_on trace in
+  let profile = engine.profile in
+  let run_t0 = Obs.Clock.now () in
   let pending = ref None in
   let pending_count = ref 0 in
   (* gates whose effect is in the state; the resume point of checkpoints *)
@@ -374,6 +383,17 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
       pending := None;
       pending_count := 0
   in
+  (* structural snapshot of the state DD at the profile sink's cadence;
+     only called when the state is an exact gate prefix.  The disabled
+     path is the [due] probe alone: one load and one branch, nothing
+     allocated (the test suite asserts this) *)
+  let maybe_profile () =
+    if Obs.Dd_profile.due profile ~gate:!applied then
+      Obs.Dd_profile.emit profile
+        (Dd.Profile.vector ~gate:!applied
+           ~t:(Obs.Clock.now () -. run_t0)
+           engine.state_edge)
+  in
   (* after the state advanced and no window is pending: guard the new
      state, then maybe checkpoint — the only points where a periodic
      checkpoint is taken, so a snapshot is always an exact gate prefix *)
@@ -382,6 +402,7 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
       norm_check ();
       memory_check ()
     end;
+    maybe_profile ();
     write_checkpoint ~force:false ()
   in
   (* Sequential applications — the Sequential strategy itself and the
@@ -534,7 +555,6 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
     let circuit = Circuit.create ~qubits:engine.n body in
     Circuit.flatten circuit
   in
-  let run_t0 = Obs.Clock.now () in
   (* wall time and the dropped-event count must survive a structured
      abort (budget exhaustion raises out of [walk]) *)
   Fun.protect
@@ -546,6 +566,16 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
     (fun () ->
       List.iter walk Circuit.(circuit.ops);
       flush ();
+      (* one final snapshot so the profile always covers the end state,
+         whatever the cadence *)
+      if
+        Obs.Dd_profile.is_on profile
+        && Obs.Dd_profile.last_gate profile <> !applied
+      then
+        Obs.Dd_profile.emit profile
+          (Dd.Profile.vector ~gate:!applied
+             ~t:(Obs.Clock.now () -. run_t0)
+             engine.state_edge);
       if Option.is_none on_checkpoint then ()
       else if !applied > !last_checkpoint then write_checkpoint ~force:true ())
 

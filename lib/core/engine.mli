@@ -63,6 +63,17 @@ val set_trace : t -> Obs.Trace.t -> unit
 
 val trace : t -> Obs.Trace.t
 
+val set_profile : t -> Obs.Dd_profile.sink -> unit
+(** Attach a structural-profile sink: {!run} snapshots the state DD
+    ({!Dd.Profile.vector} — per-level node/edge counts, weight
+    histograms, sharing, identity fraction) whenever the sink's gate
+    cadence is due and the state is an exact gate prefix, plus once at
+    the end of the run.  The default is {!Obs.Dd_profile.null} —
+    disabled, and the emission site reduces to one cadence probe with
+    zero allocation.  Pass {!Obs.Dd_profile.null} to detach. *)
+
+val profile : t -> Obs.Dd_profile.sink
+
 val gate_dd : t -> Gate.t -> Dd.Mdd.edge
 (** Build the matrix DD of one elementary gate on this engine's width. *)
 

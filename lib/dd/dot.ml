@@ -1,15 +1,39 @@
 open Dd_complex
 open Types
 
-let weight_label w =
-  if Cnum.is_exact_one w then "" else Printf.sprintf " [label=\"%s\"]" (Cnum.to_string w)
+let weight_label ?(annotate = false) w =
+  if annotate then
+    Printf.sprintf " [label=\"%s |w|=%.4g (2^%d)\"]" (Cnum.to_string w)
+      (Cnum.mag w)
+      (Obs.Metrics.bucket_exponent (Cnum.mag w))
+  else if Cnum.is_exact_one w then ""
+  else Printf.sprintf " [label=\"%s\"]" (Cnum.to_string w)
 
-let vector_to_dot ?(name = "vector_dd") edge =
+(* [rank=same] rows per level, with a plaintext level label, so annotated
+   drawings line qubits up horizontally *)
+let add_level_ranks buf by_level =
+  let levels =
+    Hashtbl.fold (fun level _ acc -> level :: acc) by_level []
+    |> List.sort_uniq (fun a b -> compare b a)
+  in
+  List.iter
+    (fun level ->
+      let ids = Hashtbl.find_all by_level level in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  level%d [shape=plaintext, label=\"level %d\"];\n\
+           \  { rank=same; level%d; %s }\n"
+           level level level
+           (String.concat "; " (List.rev ids))))
+    levels
+
+let vector_to_dot ?(name = "vector_dd") ?(annotate = false) edge =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
   Buffer.add_string buf "  node [shape=circle];\n";
   Buffer.add_string buf "  terminal [shape=box, label=\"1\"];\n";
   let stub = ref 0 in
+  let by_level = Hashtbl.create 64 in
   let edge_line src child style =
     if v_is_zero child then begin
       incr stub;
@@ -24,11 +48,12 @@ let vector_to_dot ?(name = "vector_dd") edge =
       in
       Buffer.add_string buf
         (Printf.sprintf "  %s -> %s%s%s;\n" src dst style
-           (weight_label child.vw))
+           (weight_label ~annotate child.vw))
   in
   Vdd.iter_nodes
     (fun node ->
       let src = Printf.sprintf "v%d" node.vid in
+      if annotate then Hashtbl.add by_level node.level src;
       Buffer.add_string buf
         (Printf.sprintf "  %s [label=\"q%d\"];\n" src node.level);
       edge_line src node.v_low " [style=dashed]";
@@ -41,17 +66,19 @@ let vector_to_dot ?(name = "vector_dd") edge =
     in
     Buffer.add_string buf
       (Printf.sprintf "  root [shape=none, label=\"\"];\n  root -> %s%s;\n"
-         dst (weight_label edge.vw))
+         dst (weight_label ~annotate edge.vw))
   end;
+  if annotate then add_level_ranks buf by_level;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let matrix_to_dot ?(name = "matrix_dd") edge =
+let matrix_to_dot ?(name = "matrix_dd") ?(annotate = false) edge =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
   Buffer.add_string buf "  node [shape=circle];\n";
   Buffer.add_string buf "  terminal [shape=box, label=\"1\"];\n";
   let stub = ref 0 in
+  let by_level = Hashtbl.create 64 in
   let edge_line src quadrant child =
     if m_is_zero child then begin
       incr stub;
@@ -66,7 +93,11 @@ let matrix_to_dot ?(name = "matrix_dd") edge =
         else Printf.sprintf "m%d" child.mt.mid
       in
       let wl =
-        if Cnum.is_exact_one child.mw then ""
+        if annotate then
+          Printf.sprintf ", %s |w|=%.4g (2^%d)" (Cnum.to_string child.mw)
+            (Cnum.mag child.mw)
+            (Obs.Metrics.bucket_exponent (Cnum.mag child.mw))
+        else if Cnum.is_exact_one child.mw then ""
         else ", " ^ Cnum.to_string child.mw
       in
       Buffer.add_string buf
@@ -75,6 +106,7 @@ let matrix_to_dot ?(name = "matrix_dd") edge =
   Mdd.iter_nodes
     (fun node ->
       let src = Printf.sprintf "m%d" node.mid in
+      if annotate then Hashtbl.add by_level node.level src;
       Buffer.add_string buf
         (Printf.sprintf "  %s [label=\"q%d\"];\n" src node.level);
       edge_line src "00" node.m00;
@@ -89,7 +121,8 @@ let matrix_to_dot ?(name = "matrix_dd") edge =
     in
     Buffer.add_string buf
       (Printf.sprintf "  root [shape=none, label=\"\"];\n  root -> %s%s;\n"
-         dst (weight_label edge.mw))
+         dst (weight_label ~annotate edge.mw))
   end;
+  if annotate then add_level_ranks buf by_level;
   Buffer.add_string buf "}\n";
   Buffer.contents buf

@@ -1,0 +1,227 @@
+type level = {
+  level : int;
+  nodes : int;
+  edges : int;
+  zero_edges : int;
+  weights : (int * int) list;
+}
+
+type snapshot = {
+  gate_index : int;
+  t : float;
+  dd : string;
+  nodes : int;
+  edges : int;
+  sharing : float;
+  identity_fraction : float;
+  levels : level list;
+}
+
+(* -- sinks ----------------------------------------------------------- *)
+
+type sink = {
+  mutable on : bool;
+  cadence : int;
+  max_snapshots : int;
+  mutable last : int;  (* gate index of the last emission; -1 initially *)
+  mutable count : int;
+  mutable drop_count : int;
+  mutable items : snapshot list;  (* reversed *)
+}
+
+let null =
+  {
+    on = false;
+    cadence = max_int;
+    max_snapshots = 0;
+    last = -1;
+    count = 0;
+    drop_count = 0;
+    items = [];
+  }
+
+let create ?(every = 1) ?(max_snapshots = 65536) () =
+  if every < 1 then invalid_arg "Dd_profile.create: every must be >= 1";
+  {
+    on = true;
+    cadence = every;
+    max_snapshots;
+    last = -1;
+    count = 0;
+    drop_count = 0;
+    items = [];
+  }
+
+let is_on sink = sink.on
+let every sink = sink.cadence
+
+(* the disabled path must not allocate: one load, one branch *)
+let due sink ~gate =
+  sink.on && (sink.last < 0 || gate - sink.last >= sink.cadence)
+
+let emit sink snapshot =
+  if sink.on then begin
+    sink.last <- snapshot.gate_index;
+    if sink.count >= sink.max_snapshots then
+      sink.drop_count <- sink.drop_count + 1
+    else begin
+      sink.items <- snapshot :: sink.items;
+      sink.count <- sink.count + 1
+    end
+  end
+
+let last_gate sink = sink.last
+let snapshots sink = List.rev sink.items
+let length sink = sink.count
+let dropped sink = sink.drop_count
+
+(* -- JSONL sidecar --------------------------------------------------- *)
+
+let schema = "ddsim-profile"
+let version = 1
+
+let pairs_json pairs =
+  "["
+  ^ String.concat ","
+      (List.map (fun (a, b) -> Printf.sprintf "[%d,%d]" a b) pairs)
+  ^ "]"
+
+let level_to_json l =
+  Printf.sprintf
+    "{\"level\":%d,\"nodes\":%d,\"edges\":%d,\"zero_edges\":%d,\"weights\":%s}"
+    l.level l.nodes l.edges l.zero_edges (pairs_json l.weights)
+
+let snapshot_to_json s =
+  Printf.sprintf
+    "{\"gate\":%d,\"t\":%.9g,\"dd\":\"%s\",\"nodes\":%d,\"edges\":%d,\"sharing\":%.6f,\"identity_fraction\":%.6f,\"levels\":[%s]}"
+    s.gate_index s.t (Json.escape s.dd) s.nodes s.edges s.sharing
+    s.identity_fraction
+    (String.concat "," (List.map level_to_json s.levels))
+
+let meta_json meta =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (Json.escape k) (Json.escape v))
+         meta)
+  ^ "}"
+
+let jsonl ?(meta = []) sink =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "{\"schema\":\"%s\",\"version\":%d,\"every\":%d,\"snapshots\":%d,\"dropped\":%d,\"meta\":%s}\n"
+       schema version sink.cadence sink.count sink.drop_count
+       (meta_json meta));
+  List.iter
+    (fun s ->
+      Buffer.add_string buffer (snapshot_to_json s);
+      Buffer.add_char buffer '\n')
+    (snapshots sink);
+  Buffer.contents buffer
+
+type run = {
+  run_version : int;
+  run_meta : (string * string) list;
+  run_every : int;
+  run_snapshots : snapshot list;
+}
+
+let located line_number message =
+  failwith (Printf.sprintf "profile:%d: %s" line_number message)
+
+let int_field json key ~default =
+  match Json.member json key with
+  | Some (Json.Num v) -> int_of_float v
+  | _ -> default
+
+let num_field json key ~default =
+  match Json.member json key with Some (Json.Num v) -> v | _ -> default
+
+let parse_pairs = function
+  | Json.Arr entries ->
+    List.map
+      (function
+        | Json.Arr [ Json.Num a; Json.Num b ] ->
+          (int_of_float a, int_of_float b)
+        | _ -> failwith "expected a [int,int] pair")
+      entries
+  | _ -> failwith "expected an array of pairs"
+
+let parse_level json =
+  {
+    level = int_field json "level" ~default:(-1);
+    nodes = int_field json "nodes" ~default:0;
+    edges = int_field json "edges" ~default:0;
+    zero_edges = int_field json "zero_edges" ~default:0;
+    weights =
+      (match Json.member json "weights" with
+      | Some w -> parse_pairs w
+      | None -> []);
+  }
+
+let parse_snapshot json =
+  {
+    gate_index = int_field json "gate" ~default:(-1);
+    t = num_field json "t" ~default:0.;
+    dd =
+      (match Json.member json "dd" with
+      | Some (Json.Str s) -> s
+      | _ -> "vector");
+    nodes = int_field json "nodes" ~default:0;
+    edges = int_field json "edges" ~default:0;
+    sharing = num_field json "sharing" ~default:0.;
+    identity_fraction = num_field json "identity_fraction" ~default:0.;
+    levels =
+      (match Json.member json "levels" with
+      | Some (Json.Arr ls) -> List.map parse_level ls
+      | _ -> []);
+  }
+
+let parse_jsonl text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i line -> (i + 1, line))
+    |> List.filter (fun (_, line) -> String.trim line <> "")
+  in
+  match lines with
+  | [] -> failwith "profile: empty file"
+  | (header_line, header_text) :: rest ->
+    let header =
+      try Json.parse header_text
+      with Failure message -> located header_line message
+    in
+    (match Json.member header "schema" with
+    | Some (Json.Str s) when s = schema -> ()
+    | Some (Json.Str s) ->
+      located header_line (Printf.sprintf "unexpected schema %S" s)
+    | _ -> located header_line "header line is missing \"schema\"");
+    let run_version =
+      match Json.member header "version" with
+      | Some (Json.Num v) -> int_of_float v
+      | _ -> located header_line "header line is missing \"version\""
+    in
+    if run_version <> version then
+      located header_line
+        (Printf.sprintf "unsupported schema version %d (expected %d)"
+           run_version version);
+    let run_meta =
+      match Json.member header "meta" with
+      | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) ->
+            match v with Json.Str s -> Some (k, s) | _ -> None)
+          fields
+      | _ -> []
+    in
+    let run_every = int_field header "every" ~default:1 in
+    let run_snapshots =
+      List.map
+        (fun (line_number, line) ->
+          match parse_snapshot (Json.parse line) with
+          | snapshot -> snapshot
+          | exception Failure message -> located line_number message)
+        rest
+    in
+    { run_version; run_meta; run_every; run_snapshots }

@@ -131,6 +131,28 @@ let diff ~before ~after =
 
 let find (s : snapshot) name = List.assoc_opt name s
 
+let to_json (s : snapshot) =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_char buffer '{';
+  List.iteri
+    (fun i (name, value) ->
+      if i > 0 then Buffer.add_char buffer ',';
+      Buffer.add_string buffer (Printf.sprintf "\"%s\":" (Json.escape name));
+      match value with
+      | Count n -> Buffer.add_string buffer (string_of_int n)
+      | Value v -> Buffer.add_string buffer (Printf.sprintf "%.9g" v)
+      | Histogram { count; sum; buckets } ->
+        Buffer.add_string buffer
+          (Printf.sprintf "{\"count\":%d,\"sum\":%.9g,\"buckets\":[%s]}" count
+             sum
+             (String.concat ","
+                (List.map
+                   (fun (e, n) -> Printf.sprintf "[%d,%d]" e n)
+                   buckets))))
+    s;
+  Buffer.add_char buffer '}';
+  Buffer.contents buffer
+
 let pp fmt (s : snapshot) =
   List.iter
     (fun (name, value) ->

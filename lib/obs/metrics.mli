@@ -65,3 +65,9 @@ val diff : before:snapshot -> after:snapshot -> snapshot
 
 val find : snapshot -> string -> value option
 val pp : Format.formatter -> snapshot -> unit
+
+val to_json : snapshot -> string
+(** One JSON object keyed by instrument name: counters as integers,
+    gauges as numbers, histograms as
+    [{"count":..,"sum":..,"buckets":[[exponent,observations],..]}] —
+    what [ddsim run --stats-json] writes. *)

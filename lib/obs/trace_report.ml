@@ -37,29 +37,47 @@ let parse_event json =
     detail;
   }
 
+(* every parse failure names the 1-based line it came from, so a
+   truncated or hand-edited trace is diagnosable without a hex dump *)
+let located line_number message =
+  failwith (Printf.sprintf "trace:%d: %s" line_number message)
+
+let strip_prefix message =
+  (* parse_event messages already start with "trace: "; drop it before
+     re-wrapping with the line number *)
+  let prefix = "trace: " in
+  let n = String.length prefix in
+  if String.length message >= n && String.sub message 0 n = prefix then
+    String.sub message n (String.length message - n)
+  else message
+
 let parse_jsonl text =
   let lines =
     String.split_on_char '\n' text
-    |> List.filter (fun line -> String.trim line <> "")
+    |> List.mapi (fun i line -> (i + 1, line))
+    |> List.filter (fun (_, line) -> String.trim line <> "")
   in
   match lines with
   | [] -> failwith "trace: empty file"
-  | header :: rest ->
-    let header = Json.parse header in
+  | (header_line, header_text) :: rest ->
+    let header =
+      try Json.parse header_text
+      with Failure message -> located header_line message
+    in
     (match Json.member header "schema" with
     | Some (Json.Str s) when s = Trace_export.schema -> ()
     | Some (Json.Str s) ->
-      failwith (Printf.sprintf "trace: unexpected schema %S" s)
-    | _ -> failwith "trace: header line is missing \"schema\"");
+      located header_line (Printf.sprintf "unexpected schema %S" s)
+    | _ -> located header_line "header line is missing \"schema\"");
     let version =
       match Json.member header "version" with
       | Some (Json.Num v) -> int_of_float v
-      | _ -> failwith "trace: header line is missing \"version\""
+      | _ -> located header_line "header line is missing \"version\""
     in
     if version <> Trace_export.version then
-      failwith
-        (Printf.sprintf "trace: unsupported schema version %d (expected %d)"
-           version Trace_export.version);
+      located header_line
+        (Printf.sprintf "unsupported schema version %d (expected %d)" version
+           Trace_export.version);
     let meta =
       match Json.member header "meta" with
       | Some (Json.Obj fields) ->
@@ -70,7 +88,15 @@ let parse_jsonl text =
       | _ -> []
     in
     let dropped = field header "dropped" ~default:0 in
-    let events = List.map (fun line -> parse_event (Json.parse line)) rest in
+    let events =
+      List.map
+        (fun (line_number, line) ->
+          match parse_event (Json.parse line) with
+          | event -> event
+          | exception Failure message ->
+            located line_number (strip_prefix message))
+        rest
+    in
     { version; meta; events; dropped }
 
 let trajectory run =

@@ -15,7 +15,8 @@ type run = {
 
 val parse_jsonl : string -> run
 (** Raises [Failure] on malformed JSON, a missing/mismatched [schema]
-    field, or an unsupported [version]. *)
+    field, or an unsupported [version].  Every message is located:
+    ["trace:LINE: ..."] with the 1-based line the problem came from. *)
 
 val trajectory : run -> (int * int) list
 (** [(gate_index, state_nodes)] per gate, ascending by gate index.  For

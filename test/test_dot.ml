@@ -54,6 +54,45 @@ let test_dot_parses_as_graphviz_shape () =
   check_int "balanced braces" opens closes;
   check_bool "ends with newline" true (dot.[String.length dot - 1] = '\n')
 
+let test_vector_dot_annotated () =
+  let ctx = fresh_ctx () in
+  let e =
+    Dd.Vdd.of_array ctx
+      [| Dd_complex.Cnum.of_float 0.8; Dd_complex.Cnum.of_float 0.6 |]
+  in
+  let dot = Dd.Dot.vector_to_dot ~annotate:true e in
+  (* every non-zero edge gets a magnitude + log2-bucket annotation *)
+  check_bool "magnitude label" true (contains_sub dot "|w|=0.75");
+  check_bool "log2 bucket label" true (contains_sub dot "(2^0)");
+  (* nodes are grouped into rank=same rows with a level label *)
+  check_bool "rank row" true (contains_sub dot "{ rank=same; level0;");
+  check_bool "level caption" true
+    (contains_sub dot "label=\"level 0\"");
+  (* annotation also labels weight-one edges, unlike the plain export *)
+  let plain = Dd.Dot.vector_to_dot e in
+  check_bool "plain export unchanged: no magnitudes" false
+    (contains_sub plain "|w|=");
+  check_bool "plain export unchanged: no rank rows" false
+    (contains_sub plain "rank=same")
+
+let test_matrix_dot_annotated () =
+  let ctx = fresh_ctx () in
+  let dd = Dd.Mdd.gate ctx ~n:2 ~target:0 (Gate.matrix Gate.H) in
+  let dot = Dd.Dot.matrix_to_dot ~annotate:true dd in
+  (* the Hadamard quadrant weights have magnitude 1/sqrt(2) ~ 0.7071 *)
+  check_bool "quadrant magnitude label" true (contains_sub dot "|w|=0.7071");
+  check_bool "hadamard bucket" true (contains_sub dot "(2^0)");
+  check_bool "rank rows per level" true (contains_sub dot "rank=same");
+  check_bool "quadrants keep their labels" true (contains_sub dot "label=\"01")
+
+let test_annotated_dot_braces_balanced () =
+  let ctx = fresh_ctx () in
+  let dot = Dd.Dot.vector_to_dot ~annotate:true (Dd.Vdd.basis ctx ~n:4 9) in
+  let count c0 =
+    String.fold_left (fun acc c -> if c = c0 then acc + 1 else acc) 0 dot
+  in
+  check_int "balanced braces" (count '{') (count '}')
+
 let suite =
   [
     Alcotest.test_case "vector_structure" `Quick test_vector_dot_structure;
@@ -62,4 +101,8 @@ let suite =
     Alcotest.test_case "matrix_structure" `Quick test_matrix_dot_structure;
     Alcotest.test_case "graphviz_shape" `Quick
       test_dot_parses_as_graphviz_shape;
+    Alcotest.test_case "vector_annotated" `Quick test_vector_dot_annotated;
+    Alcotest.test_case "matrix_annotated" `Quick test_matrix_dot_annotated;
+    Alcotest.test_case "annotated_braces" `Quick
+      test_annotated_dot_braces_balanced;
   ]
