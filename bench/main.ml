@@ -683,9 +683,7 @@ let kernel ~smoke () =
        \  \"runs\": [\n%s\n  ]\n}\n"
       (String.concat ",\n" runs)
   in
-  let oc = open_out out in
-  output_string oc json;
-  close_out oc;
+  Obs.Safe_io.write_file out json;
   Printf.printf "  wrote %s (%d runs)\n" out (List.length runs)
 
 (* ------------------------------------------------------------------ *)
@@ -801,9 +799,7 @@ let apply_bench ~smoke () =
        \  \"runs\": [\n%s\n  ]\n}\n"
       (String.concat ",\n" runs)
   in
-  let oc = open_out out in
-  output_string oc json;
-  close_out oc;
+  Obs.Safe_io.write_file out json;
   Printf.printf "  wrote %s (%d runs)\n" out (List.length runs)
 
 (* ------------------------------------------------------------------ *)
@@ -977,9 +973,7 @@ let trace_bench () =
        \  \"runs\": [\n%s\n  ]\n}\n"
       (String.concat ",\n" runs)
   in
-  let oc = open_out out in
-  output_string oc json;
-  close_out oc;
+  Obs.Safe_io.write_file out json;
   Printf.printf "  wrote %s (%d runs)\n" out (List.length runs)
 
 (* ------------------------------------------------------------------ *)

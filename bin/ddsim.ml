@@ -106,10 +106,8 @@ let stats_json_arg =
 let write_stats_json engine = function
   | None -> ()
   | Some path ->
-    let oc = open_out path in
-    output_string oc (Obs.Metrics.to_json (Dd_sim.Telemetry.snapshot engine));
-    output_char oc '\n';
-    close_out oc;
+    Obs.Safe_io.write_file path
+      (Obs.Metrics.to_json (Dd_sim.Telemetry.snapshot engine) ^ "\n");
     Printf.printf "wrote metrics %s\n" path
 
 (* structural DD profiling, shared by run / simulate *)
@@ -233,17 +231,45 @@ let guard_of_options max_nodes max_matrix deadline norm_tol auto_gc =
   Dd_sim.Guard.make ?max_live_nodes:max_nodes ?max_matrix_nodes:max_matrix
     ?deadline ?norm_tolerance:norm_tol ?gc_high_water:auto_gc ()
 
+(* invariant auditing, shared by run / simulate *)
+
+let audit_every_arg =
+  let doc =
+    "Run the DD invariant auditor every $(docv) applied gates: canonicity \
+     of every reachable state-DD node, unique-/compute-table consistency, \
+     and norm conservation (see --audit-tol), with automatic recovery \
+     (cache flush, canonical rebuild, renormalisation).  Unrecoverable \
+     violations abort with a structured error naming each fault.  0 \
+     disables auditing (the default)."
+  in
+  Arg.(value & opt int 0 & info [ "audit-every" ] ~docv:"K" ~doc)
+
+let audit_tol_arg =
+  let doc =
+    "Auditor norm tolerance: flag the recomputed state norm when it \
+     drifts more than $(docv) from 1 (with --audit-every)."
+  in
+  Arg.(value & opt float 1e-6 & info [ "audit-tol" ] ~docv:"TOL" ~doc)
+
+let arm_audit engine ~tolerance = function
+  | 0 -> ()
+  | every -> Dd_sim.Engine.set_audit engine ~tolerance every
+
 let guarded_run ?(use_repeating = false) engine circuit ~strategy ~guard
     ~checkpoint ~checkpoint_every ~resume =
   let start_gate =
     match resume with
     | None -> 0
     | Some path ->
-      let loaded =
-        Dd_sim.Checkpoint.load (Dd_sim.Engine.context engine) ~path
+      let loaded, generation =
+        Dd_sim.Checkpoint.load_latest (Dd_sim.Engine.context engine) ~path
       in
       let start = Dd_sim.Checkpoint.restore engine loaded in
-      Printf.printf "resumed from %s at gate %d\n" path start;
+      Printf.printf "resumed from %s at gate %d%s\n" path start
+        (match generation with
+        | Dd_sim.Checkpoint.Current -> ""
+        | Dd_sim.Checkpoint.Previous ->
+          " (latest checkpoint unreadable; previous generation)");
       start
   in
   let on_checkpoint =
@@ -390,7 +416,8 @@ let run_cmd =
   let action algo qubits marked modulus base rows cols cycles gates seed
       strategy repeating construct samples stats no_fused max_nodes
       max_matrix deadline norm_tol auto_gc checkpoint checkpoint_every
-      resume trace trace_format metrics profile profile_every stats_json =
+      resume trace trace_format metrics profile profile_every stats_json
+      audit_every audit_tol =
     with_structured_errors @@ fun () ->
     if algo = "shor" then run_shor modulus base strategy construct
     else begin
@@ -400,6 +427,7 @@ let run_cmd =
       Format.printf "%a@." Circuit.pp circuit;
       let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
       if no_fused then Dd_sim.Engine.set_fused_apply engine false;
+      arm_audit engine ~tolerance:audit_tol audit_every;
       let traced = attach_trace engine trace in
       let profiled = attach_profile engine ~every:profile_every profile in
       let guard =
@@ -430,7 +458,8 @@ let run_cmd =
       $ stats_arg $ no_fused_apply_arg $ max_nodes_arg $ max_matrix_arg
       $ deadline_arg $ norm_tol_arg $ auto_gc_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ trace_arg $ trace_format_arg
-      $ metrics_arg $ profile_arg $ profile_every_arg $ stats_json_arg)
+      $ metrics_arg $ profile_arg $ profile_every_arg $ stats_json_arg
+      $ audit_every_arg $ audit_tol_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a built-in benchmark circuit.") term
 
@@ -453,7 +482,8 @@ let detect_repeats_arg =
 let simulate_cmd =
   let action file strategy seed samples stats no_fused detect max_nodes
       max_matrix deadline norm_tol auto_gc checkpoint checkpoint_every
-      resume trace trace_format metrics profile profile_every stats_json =
+      resume trace trace_format metrics profile profile_every stats_json
+      audit_every audit_tol =
     with_structured_errors @@ fun () ->
     let source =
       let ic = open_in file in
@@ -467,6 +497,7 @@ let simulate_cmd =
     Format.printf "%a@." Circuit.pp circuit;
     let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
     if no_fused then Dd_sim.Engine.set_fused_apply engine false;
+    arm_audit engine ~tolerance:audit_tol audit_every;
     let traced = attach_trace engine trace in
     let profiled = attach_profile engine ~every:profile_every profile in
     let guard =
@@ -495,7 +526,7 @@ let simulate_cmd =
       $ max_matrix_arg $ deadline_arg $ norm_tol_arg $ auto_gc_arg
       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ trace_arg
       $ trace_format_arg $ metrics_arg $ profile_arg $ profile_every_arg
-      $ stats_json_arg)
+      $ stats_json_arg $ audit_every_arg $ audit_tol_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate an OpenQASM 2.0 file.") term
 
@@ -535,9 +566,7 @@ let dot_cmd =
     match output with
     | None -> print_string dot
     | Some file ->
-      let oc = open_out file in
-      output_string oc dot;
-      close_out oc;
+      Obs.Safe_io.write_file file dot;
       Printf.printf "wrote %s (%d state nodes)\n" file
         (Dd_sim.Engine.state_node_count engine)
   in
@@ -648,9 +677,7 @@ let plot_cmd =
     match output with
     | None -> print_string svg
     | Some path ->
-      let oc = open_out path in
-      output_string oc svg;
-      close_out oc;
+      Obs.Safe_io.write_file path svg;
       Printf.printf "wrote %s (%d series)\n" path (List.length series)
   in
   let term =
@@ -828,6 +855,35 @@ let bench_check_cmd =
           non-zero on any regression.")
     term
 
+(* --- fsck ------------------------------------------------------------- *)
+
+let fsck_files_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Artifacts to validate: checkpoints (--checkpoint), JSONL \
+           traces (--trace) and structural profiles (--profile).")
+
+let fsck_cmd =
+  let action files =
+    let reports =
+      List.map (fun path -> Dd_sim.Fsck.check_file ~path) files
+    in
+    List.iter (fun r -> print_endline (Dd_sim.Fsck.to_string r)) reports;
+    if List.exists (fun r -> not r.Dd_sim.Fsck.ok) reports then exit 1
+  in
+  let term = Term.(const action $ fsck_files_arg) in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Validate simulation artifacts at rest: checksum trailers, \
+          schemas, full parses (checkpoints are reconstructed into a \
+          throwaway DD context) and cheap semantic invariants such as \
+          monotonic gate indices.  Prints one verdict line per file and \
+          exits non-zero when any file fails.")
+    term
+
 (* --- inspect ---------------------------------------------------------- *)
 
 let inspect_dot_arg =
@@ -855,9 +911,7 @@ let inspect_cmd =
       let dot =
         Dd.Dot.vector_to_dot ~annotate:true (Dd_sim.Engine.state engine)
       in
-      let oc = open_out file in
-      output_string oc dot;
-      close_out oc;
+      Obs.Safe_io.write_file file dot;
       Printf.printf "wrote %s (annotated, %d state nodes)\n" file
         (Dd_sim.Engine.state_node_count engine)
   in
@@ -883,4 +937,4 @@ let () =
        (Cmd.group info
           [ run_cmd; simulate_cmd; export_cmd; dot_cmd; inspect_cmd;
             optimize_cmd; equiv_cmd; plot_cmd; report_cmd; diff_cmd;
-            bench_check_cmd ]))
+            bench_check_cmd; fsck_cmd ]))

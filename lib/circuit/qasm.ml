@@ -460,6 +460,18 @@ let of_string ?(name = "qasm") source =
           fail state "expected , or ; after qubit"
       in
       let qs = collect_qubits [] in
+      (* Circuit.of_gates rejects a gate touching the same wire twice with a
+         bare Invalid_argument; report it here instead, with a line number *)
+      let rec distinct = function
+        | [] -> ()
+        | q :: rest ->
+          if List.mem q rest then
+            fail state
+              (Printf.sprintf "duplicate qubit argument %s[%d] to %s" reg q
+                 spelling);
+          distinct rest
+      in
+      distinct qs;
       gates := List.rev_append (gate_of_spelling state spelling params qs) !gates;
       loop ()
     | Some

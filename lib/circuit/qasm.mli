@@ -13,8 +13,11 @@ exception Parse_error of { line : int; message : string }
 (** Malformed input.  [line] locates the offending token (for a truncated
     file, the last line of the source); [message] names what was expected
     and the token actually found.  Out-of-range qubit indices (against the
-    declared [qreg] size), non-integer indices and degenerate register
-    sizes are rejected here, at parse time. *)
+    declared [qreg] size), non-integer indices, duplicate qubit arguments
+    to one gate and degenerate register sizes are all rejected here, at
+    parse time — [of_string] raises [Parse_error] on malformed input,
+    never a bare [Invalid_argument] from the circuit layer (the QASM fuzz
+    suite enforces this). *)
 
 val to_string : Circuit.t -> string
 (** OpenQASM 2.0 source for the circuit (repeat blocks are unrolled). *)

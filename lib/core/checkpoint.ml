@@ -5,11 +5,16 @@ let format_magic = "ddsim-checkpoint"
    version 3: the stats line gained fast_path_applies and
    generic_applies (the structured-apply dispatch counters);
    version 4: the stats line gained trace_events_dropped and
-   wall_time_seconds (hex float).  Readers accept 3 and 4: a v3 stats
-   line simply has no trace/wall fields and restores them as zero. *)
-let format_version = 4
+   wall_time_seconds (hex float);
+   version 5: the stats line gained the auditor counters (audits_run,
+   audit_violations, audit_repairs) and the file gained a mandatory
+   [checksum <hex>] trailer line (FNV-1a over everything before it).
+   Readers accept 2 through 5: fields a version did not carry restore
+   as zero, and the trailer is verified when present (required from
+   version 5 on). *)
+let format_version = 5
 
-let oldest_readable_version = 3
+let oldest_readable_version = 2
 
 type t = {
   qubits : int;
@@ -52,30 +57,43 @@ let hex_decode ~source text =
 
 let to_string checkpoint =
   let stats = checkpoint.stats in
-  String.concat "\n"
-    [
-      Printf.sprintf "%s %d" format_magic format_version;
-      Printf.sprintf "qubits %d" checkpoint.qubits;
-      Printf.sprintf "gate_index %d" checkpoint.gate_index;
-      Printf.sprintf "strategy %s" (Strategy.to_string checkpoint.strategy);
-      Printf.sprintf "rng %s"
-        (hex_encode (Marshal.to_string checkpoint.rng []));
-      Printf.sprintf "stats %d %d %d %d %d %d %d %d %d %d %d %d %d %h %d %h"
-        stats.Sim_stats.mat_vec_mults stats.Sim_stats.mat_mat_mults
-        stats.Sim_stats.gates_seen stats.Sim_stats.combined_applications
-        stats.Sim_stats.peak_state_nodes stats.Sim_stats.peak_matrix_nodes
-        stats.Sim_stats.fallbacks stats.Sim_stats.auto_gcs
-        stats.Sim_stats.renormalizations stats.Sim_stats.checkpoints_written
-        stats.Sim_stats.fast_path_applies stats.Sim_stats.generic_applies
-        stats.Sim_stats.gc_reclaimed_nodes stats.Sim_stats.gc_pause_seconds
-        stats.Sim_stats.trace_events_dropped
-        stats.Sim_stats.wall_time_seconds;
-      "state";
-      Dd.Serialize.vector_to_string checkpoint.state;
-    ]
+  let body =
+    String.concat "\n"
+      [
+        Printf.sprintf "%s %d" format_magic format_version;
+        Printf.sprintf "qubits %d" checkpoint.qubits;
+        Printf.sprintf "gate_index %d" checkpoint.gate_index;
+        Printf.sprintf "strategy %s" (Strategy.to_string checkpoint.strategy);
+        Printf.sprintf "rng %s"
+          (hex_encode (Marshal.to_string checkpoint.rng []));
+        Printf.sprintf
+          "stats %d %d %d %d %d %d %d %d %d %d %d %d %d %h %d %h %d %d %d"
+          stats.Sim_stats.mat_vec_mults stats.Sim_stats.mat_mat_mults
+          stats.Sim_stats.gates_seen stats.Sim_stats.combined_applications
+          stats.Sim_stats.peak_state_nodes stats.Sim_stats.peak_matrix_nodes
+          stats.Sim_stats.fallbacks stats.Sim_stats.auto_gcs
+          stats.Sim_stats.renormalizations stats.Sim_stats.checkpoints_written
+          stats.Sim_stats.fast_path_applies stats.Sim_stats.generic_applies
+          stats.Sim_stats.gc_reclaimed_nodes stats.Sim_stats.gc_pause_seconds
+          stats.Sim_stats.trace_events_dropped
+          stats.Sim_stats.wall_time_seconds stats.Sim_stats.audits_run
+          stats.Sim_stats.audit_violations stats.Sim_stats.audit_repairs;
+        "state";
+        Dd.Serialize.vector_to_string checkpoint.state;
+      ]
+  in
+  (* body ends with a newline (the serialized DD's); the trailer covers
+     every byte before itself, so truncation or garbling anywhere in the
+     file is detectable *)
+  body ^ "checksum " ^ Obs.Safe_io.checksum body ^ "\n"
 
 let of_string context ?(source = "<string>") text =
-  let lines = String.split_on_char '\n' text in
+  let body, trailer = Obs.Safe_io.split_text_trailer text in
+  (match trailer with
+  | Some expected when Obs.Safe_io.checksum body <> expected ->
+    invalid ~source "checksum mismatch (file truncated or corrupted)"
+  | _ -> ());
+  let lines = String.split_on_char '\n' body in
   let field ~name line =
     let prefix = name ^ " " in
     let plen = String.length prefix in
@@ -106,6 +124,8 @@ let of_string context ?(source = "<string>") text =
         | _ -> invalid ~source (Printf.sprintf "bad header %S" header))
       | _ -> invalid ~source (Printf.sprintf "bad header %S" header)
     in
+    if version >= 5 && trailer = None then
+      invalid ~source "missing checksum trailer";
     let qubits = int_field ~name:"qubits" qubits in
     if qubits < 1 then invalid ~source "qubits must be >= 1";
     let gate_index = int_field ~name:"gate_index" gate_index in
@@ -154,6 +174,9 @@ let of_string context ?(source = "<string>") text =
     (match
        (version, field ~name:"stats" stats |> String.split_on_char ' ')
      with
+    | 2, [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw; gr; gp ] ->
+      (* v2 predates the dispatch counters; zero-fill them *)
+      common mv mm gs ca ps pm fb gc rn cw "0" "0" gr gp
     | 3, [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw; fp; ga; gr; gp ] ->
       common mv mm gs ca ps pm fb gc rn cw fp ga gr gp
     | 4, [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw; fp; ga; gr; gp; td; wt ]
@@ -161,8 +184,19 @@ let of_string context ?(source = "<string>") text =
       common mv mm gs ca ps pm fb gc rn cw fp ga gr gp;
       stats_record.Sim_stats.trace_events_dropped <- stats_int td;
       stats_record.Sim_stats.wall_time_seconds <- stats_float wt
+    | ( 5,
+        [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw; fp; ga; gr; gp; td; wt;
+          au; av; ar ] ) ->
+      common mv mm gs ca ps pm fb gc rn cw fp ga gr gp;
+      stats_record.Sim_stats.trace_events_dropped <- stats_int td;
+      stats_record.Sim_stats.wall_time_seconds <- stats_float wt;
+      stats_record.Sim_stats.audits_run <- stats_int au;
+      stats_record.Sim_stats.audit_violations <- stats_int av;
+      stats_record.Sim_stats.audit_repairs <- stats_int ar
+    | 2, _ -> invalid ~source "stats line must carry exactly 12 fields"
     | 3, _ -> invalid ~source "stats line must carry exactly 14 fields"
-    | _, _ -> invalid ~source "stats line must carry exactly 16 fields");
+    | 4, _ -> invalid ~source "stats line must carry exactly 16 fields"
+    | _, _ -> invalid ~source "stats line must carry exactly 19 fields");
     if marker <> "state" then
       invalid ~source (Printf.sprintf "expected \"state\" marker, got %S" marker);
     let state =
@@ -181,11 +215,13 @@ let of_string context ?(source = "<string>") text =
 
 let save engine ~strategy ~gate_index ~path =
   let checkpoint = snapshot engine ~strategy ~gate_index in
-  (* write-then-rename, so an interrupted save never clobbers the previous
-     good checkpoint with a torn file *)
-  let temporary = path ^ ".tmp" in
-  Dd.Serialize.write_file temporary (to_string checkpoint ^ "\n");
-  Sys.rename temporary path
+  (* rotate the last good generation to PATH.prev before the atomic
+     write, so even a latest file corrupted at rest (bad disk, stray
+     write) leaves a resume point *)
+  if Sys.file_exists path then begin
+    try Sys.rename path (path ^ ".prev") with Sys_error _ -> ()
+  end;
+  Obs.Safe_io.write_file path (to_string checkpoint)
 
 let load context ~path =
   let text =
@@ -193,6 +229,18 @@ let load context ~path =
     with Sys_error message -> invalid ~source:path message
   in
   of_string context ~source:path text
+
+type generation = Current | Previous
+
+let load_latest context ~path =
+  match load context ~path with
+  | checkpoint -> (checkpoint, Current)
+  | exception (Error.Error (Error.Invalid_checkpoint _) as original) -> (
+    match load context ~path:(path ^ ".prev") with
+    | checkpoint -> (checkpoint, Previous)
+    | exception Error.Error (Error.Invalid_checkpoint _) ->
+      (* report the failure of the generation the user named *)
+      raise original)
 
 let restore engine checkpoint =
   if checkpoint.qubits <> Engine.qubits engine then

@@ -43,12 +43,24 @@ val of_string : Dd.Context.t -> ?source:string -> string -> t
     [source] names the origin in the error (default ["<string>"]). *)
 
 val save : Engine.t -> strategy:Strategy.t -> gate_index:int -> path:string -> unit
-(** {!snapshot} then write to [path] (write-then-rename, so a crash during
-    saving never corrupts an existing checkpoint). *)
+(** {!snapshot} then write to [path] crash-safely (write-to-temp, fsync,
+    atomic rename — {!Obs.Safe_io}), rotating the previous generation to
+    [path ^ ".prev"] first.  A crash during saving never corrupts an
+    existing checkpoint, and a latest file corrupted at rest still
+    leaves the previous generation as a resume point. *)
 
 val load : Dd.Context.t -> path:string -> t
 (** Read and parse [path].  Raises {!Error.Error} ([Invalid_checkpoint]) —
-    also for I/O failures. *)
+    also for I/O failures.  The [checksum] trailer is verified when
+    present (mandatory from format version 5 on). *)
+
+type generation = Current | Previous
+
+val load_latest : Dd.Context.t -> path:string -> t * generation
+(** [load path]; if that fails with [Invalid_checkpoint], fall back to
+    the rotated [path ^ ".prev"] generation, reporting which one was
+    restored.  When both generations are unreadable, re-raises the
+    error for [path] itself. *)
 
 val restore : Engine.t -> t -> int
 (** Install the checkpoint's state, RNG and statistics into the engine and

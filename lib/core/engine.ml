@@ -20,6 +20,11 @@ type t = {
      unless set_profile attached a live one — the cadence probe
      [Obs.Dd_profile.due] is the first action at every emission site *)
   mutable profile : Obs.Dd_profile.sink;
+  (* invariant-auditor cadence in applied gates; 0 = off (the default),
+     in which case the per-gate probe is one load and one branch *)
+  mutable audit_every : int;
+  mutable audit_tol : float;
+  mutable last_audit : int;
 }
 
 let create ?(seed = 0xDD) ?context n =
@@ -39,6 +44,9 @@ let create ?(seed = 0xDD) ?context n =
     fused_apply = true;
     trace = Obs.Trace.null;
     profile = Obs.Dd_profile.null;
+    audit_every = 0;
+    audit_tol = 1e-6;
+    last_audit = 0;
   }
 
 let context engine = engine.context
@@ -61,6 +69,7 @@ let set_state engine edge =
 
 let reset engine =
   engine.state_edge <- Dd.Vdd.basis engine.context ~n:engine.n 0;
+  engine.last_audit <- 0;
   Sim_stats.reset engine.stats
 
 let set_track_peaks engine flag = engine.track_peaks <- flag
@@ -74,6 +83,97 @@ let set_trace engine trace =
 let trace engine = engine.trace
 let set_profile engine sink = engine.profile <- sink
 let profile engine = engine.profile
+
+let set_audit engine ?(tolerance = 1e-6) every =
+  if every < 0 then
+    Error.invalid_parameter ~what:"Engine.set_audit"
+      (Printf.sprintf "cadence must be >= 0 (got %d)" every);
+  if (not (Float.is_finite tolerance)) || tolerance <= 0. then
+    Error.invalid_parameter ~what:"Engine.set_audit"
+      (Printf.sprintf "tolerance must be positive (got %g)" tolerance);
+  engine.audit_every <- every;
+  engine.audit_tol <- tolerance;
+  engine.last_audit <- 0
+
+let audit_every engine = engine.audit_every
+
+(* disabled path: one load and one branch, zero allocation (asserted by
+   the test suite) *)
+let audit_due engine ~gate =
+  engine.audit_every > 0 && gate - engine.last_audit >= engine.audit_every
+
+(* One auditor pass over the live structures, with the recovery ladder:
+   a stale compute-table entry flushes the caches, a canonicity fault
+   re-interns the state DD through a canonical rebuild, and norm drift is
+   renormalised away.  Violations that survive a full re-check raise a
+   structured {!Error.Audit_failure} naming each fault site — the state
+   cannot be trusted, resume from the last good checkpoint.  Returns the
+   number of violations initially found. *)
+let run_audit engine ~gate ~strategy =
+  let ctx = engine.context in
+  let traced = Obs.Trace.is_on engine.trace in
+  let t0 = if traced then Obs.Trace.now engine.trace else 0. in
+  engine.last_audit <- gate;
+  engine.stats.audits_run <- engine.stats.audits_run + 1;
+  let check () =
+    Dd.Audit.check_vector ~norm_tol:engine.audit_tol ctx engine.state_edge
+    @ Dd.Audit.check_tables ctx
+  in
+  let emit detail =
+    if traced then
+      Obs.Trace.span engine.trace Obs.Trace.Audit ~t0 ~gate
+        ~state_nodes:(Dd.Vdd.node_count engine.state_edge)
+        ~matrix_nodes:(-1) ~hits:0 ~misses:0 ~detail
+  in
+  let violations = check () in
+  let found = List.length violations in
+  if found = 0 then emit "clean"
+  else begin
+    engine.stats.audit_violations <- engine.stats.audit_violations + found;
+    let classes = List.map Dd.Audit.class_of violations in
+    if List.mem Dd.Audit.Table classes then
+      Dd.Context.clear_compute_caches ctx;
+    if List.mem Dd.Audit.Canonicity classes then
+      engine.state_edge <- Dd.Audit.rebuild_vector ctx engine.state_edge;
+    (* rung 3: renormalise drift (whether original or exposed by the
+       rebuild folding corrupt weights into the root) *)
+    let n2 = Dd.Audit.norm2_uncached engine.state_edge in
+    if
+      Float.is_finite n2 && n2 > 1e-300
+      && Float.abs (sqrt n2 -. 1.) > engine.audit_tol
+    then begin
+      engine.state_edge <-
+        Dd.Vdd.scale ctx (Cnum.of_float (1. /. sqrt n2)) engine.state_edge;
+      engine.stats.renormalizations <- engine.stats.renormalizations + 1
+    end;
+    match check () with
+    | [] ->
+      engine.stats.audit_repairs <- engine.stats.audit_repairs + 1;
+      emit (Printf.sprintf "%d violation%s repaired" found
+              (if found = 1 then "" else "s"))
+    | remaining ->
+      emit
+        (Printf.sprintf "%d violation%s, %d unrecovered" found
+           (if found = 1 then "" else "s")
+           (List.length remaining));
+      Error.raise_error
+        (Error.Audit_failure
+           {
+             violations = List.map Dd.Audit.to_string remaining;
+             site =
+               {
+                 Error.gate_index = gate;
+                 strategy;
+                 state_nodes = Dd.Vdd.node_count engine.state_edge;
+                 matrix_nodes = 0;
+               };
+           })
+  end;
+  found
+
+let audit_now engine =
+  run_audit engine ~gate:engine.stats.gates_seen
+    ~strategy:Strategy.Sequential
 
 (* A traced run keeps the peaks too: the report cross-checks the
    trajectory maximum against [peak_state_nodes], and a trace without its
@@ -398,10 +498,19 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
      state, then maybe checkpoint — the only points where a periodic
      checkpoint is taken, so a snapshot is always an exact gate prefix *)
   let after_state_update () =
+    (* fault harness: a GC right after the state advanced is the most
+       adversarial moment — every compute-table entry for the gate just
+       applied is still hot *)
+    if Fault.fire Fault.Forced_gc then
+      ignore
+        (Dd.Context.collect engine.context ~v_roots:[ engine.state_edge ]
+           ~m_roots:[]);
     if guarded then begin
       norm_check ();
       memory_check ()
     end;
+    if audit_due engine ~gate:!applied then
+      ignore (run_audit engine ~gate:!applied ~strategy);
     maybe_profile ();
     write_checkpoint ~force:false ()
   in

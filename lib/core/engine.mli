@@ -74,6 +74,33 @@ val set_profile : t -> Obs.Dd_profile.sink -> unit
 
 val profile : t -> Obs.Dd_profile.sink
 
+val set_audit : t -> ?tolerance:float -> int -> unit
+(** [set_audit engine k] arms the invariant auditor ({!Dd.Audit}) at a
+    cadence of one pass per [k] applied gates ([0] disarms — the
+    default, in which case the per-gate probe is a single load and
+    branch with zero allocation).  [tolerance] (default [1e-6]) bounds
+    the acceptable drift of the recomputed state norm from 1.
+
+    A due pass re-derives canonicity, norm and table invariants from the
+    live structures and climbs a recovery ladder on violation: stale
+    table entries flush the compute caches, canonicity faults re-intern
+    the state through a canonical rebuild, and norm drift is
+    renormalised.  Violations surviving a re-check raise {!Error.Error}
+    ([Audit_failure]) naming each fault site; the run should then be
+    resumed from its last good checkpoint. *)
+
+val audit_every : t -> int
+(** Current auditor cadence; [0] when disarmed. *)
+
+val audit_due : t -> gate:int -> bool
+(** The cadence probe {!run} evaluates after each state update —
+    exposed so the test suite can assert its zero-allocation claim. *)
+
+val audit_now : t -> int
+(** Run one auditor pass immediately (outside any run), returning the
+    number of violations found before recovery.  Raises {!Error.Error}
+    ([Audit_failure]) when violations survive the recovery ladder. *)
+
 val gate_dd : t -> Gate.t -> Dd.Mdd.edge
 (** Build the matrix DD of one elementary gate on this engine's width. *)
 

@@ -18,6 +18,7 @@ type t =
   | Invalid_checkpoint of { source : string; message : string }
   | Width_mismatch of { what : string; expected : int; actual : int }
   | Invalid_parameter of { what : string; message : string }
+  | Audit_failure of { violations : string list; site : run_site }
 
 exception Error of t
 
@@ -47,6 +48,12 @@ let to_string = function
     Printf.sprintf "%s: expected %d qubits, got %d" what expected actual
   | Invalid_parameter { what; message } ->
     Printf.sprintf "%s: %s" what message
+  | Audit_failure { violations; site } ->
+    Printf.sprintf "invariant audit failed (%d unrecovered violation%s) %s: %s"
+      (List.length violations)
+      (if List.length violations = 1 then "" else "s")
+      (site_to_string site)
+      (String.concat "; " violations)
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 let raise_error e = raise (Error e)

@@ -44,6 +44,13 @@ type t =
           checkpoint interval, resume point) is out of its domain.  These
           arrive from user input — CLI flags, config — so they are
           structured errors rather than assertions. *)
+  | Audit_failure of { violations : string list; site : run_site }
+      (** The invariant auditor ({!Dd.Audit}, [--audit-every]) found
+          violations that survived the full recovery ladder
+          (cache flush, canonical rebuild, renormalisation).  Each
+          violation string names its fault site; the run state cannot be
+          trusted past [site.gate_index] — resume from the last good
+          checkpoint. *)
 
 exception Error of t
 

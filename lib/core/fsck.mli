@@ -1,0 +1,27 @@
+(** Artifact validation — the library behind [ddsim fsck].
+
+    Every sidecar the toolchain writes (checkpoints, JSONL traces,
+    JSONL structural profiles) is written crash-safely
+    ({!Obs.Safe_io}) and carries a checksum trailer; [fsck] closes the
+    loop by re-validating files at rest: the checksum, the schema, the
+    full parse (checkpoints are reconstructed into a throwaway DD
+    context), and cheap semantic invariants — gate indices must never
+    go backwards, durations must be non-negative.
+
+    A report never raises: every corruption mode is folded into
+    [ok = false] with a human-readable detail naming the fault. *)
+
+type report = {
+  path : string;
+  family : string;  (** ["checkpoint"], ["trace"], ["profile"], ["unknown"] *)
+  ok : bool;
+  detail : string;
+      (** on success a one-line summary; on failure the located fault *)
+}
+
+val check_file : path:string -> report
+(** Sniff the artifact family from the first line and validate the whole
+    file.  Unreadable or unrecognised files report [ok = false]. *)
+
+val to_string : report -> string
+(** ["PATH: OK family (detail)"] / ["PATH: FAIL family (detail)"]. *)

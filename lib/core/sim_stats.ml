@@ -15,6 +15,9 @@ type t = {
   mutable gc_reclaimed_nodes : int;
   mutable wall_time_seconds : float;
   mutable trace_events_dropped : int;
+  mutable audits_run : int;
+  mutable audit_violations : int;
+  mutable audit_repairs : int;
 }
 
 let create () =
@@ -35,6 +38,9 @@ let create () =
     gc_reclaimed_nodes = 0;
     wall_time_seconds = 0.;
     trace_events_dropped = 0;
+    audits_run = 0;
+    audit_violations = 0;
+    audit_repairs = 0;
   }
 
 let reset stats =
@@ -53,7 +59,10 @@ let reset stats =
   stats.gc_pause_seconds <- 0.;
   stats.gc_reclaimed_nodes <- 0;
   stats.wall_time_seconds <- 0.;
-  stats.trace_events_dropped <- 0
+  stats.trace_events_dropped <- 0;
+  stats.audits_run <- 0;
+  stats.audit_violations <- 0;
+  stats.audit_repairs <- 0
 
 let copy stats = { stats with mat_vec_mults = stats.mat_vec_mults }
 
@@ -73,7 +82,10 @@ let assign dst src =
   dst.gc_pause_seconds <- src.gc_pause_seconds;
   dst.gc_reclaimed_nodes <- src.gc_reclaimed_nodes;
   dst.wall_time_seconds <- src.wall_time_seconds;
-  dst.trace_events_dropped <- src.trace_events_dropped
+  dst.trace_events_dropped <- src.trace_events_dropped;
+  dst.audits_run <- src.audits_run;
+  dst.audit_violations <- src.audit_violations;
+  dst.audit_repairs <- src.audit_repairs
 
 let pp fmt stats =
   let fast_pct =
@@ -104,4 +116,7 @@ let pp fmt stats =
   if stats.wall_time_seconds > 0. then
     Format.fprintf fmt " wall=%.3fs" stats.wall_time_seconds;
   if stats.trace_events_dropped > 0 then
-    Format.fprintf fmt " trace-dropped=%d" stats.trace_events_dropped
+    Format.fprintf fmt " trace-dropped=%d" stats.trace_events_dropped;
+  if stats.audits_run > 0 then
+    Format.fprintf fmt " audits=%d audit-violations=%d audit-repairs=%d"
+      stats.audits_run stats.audit_violations stats.audit_repairs

@@ -40,6 +40,15 @@ type t = {
   mutable trace_events_dropped : int;
       (** events the attached {!Obs.Trace} discarded after its buffer
           reached [max_events]; [0] when tracing is off *)
+  mutable audits_run : int;
+      (** invariant-auditor passes executed ([--audit-every]); [0] when
+          auditing is off *)
+  mutable audit_violations : int;
+      (** total invariant violations the auditor detected (before
+          recovery) *)
+  mutable audit_repairs : int;
+      (** audit passes whose violations were fully repaired by the
+          recovery ladder *)
 }
 
 val create : unit -> t

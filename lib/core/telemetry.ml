@@ -27,6 +27,9 @@ let populate registry engine =
     stats.Sim_stats.checkpoints_written;
   set_count registry "sim.trace_events_dropped"
     stats.Sim_stats.trace_events_dropped;
+  set_count registry "sim.audits_run" stats.Sim_stats.audits_run;
+  set_count registry "sim.audit_violations" stats.Sim_stats.audit_violations;
+  set_count registry "sim.audit_repairs" stats.Sim_stats.audit_repairs;
   set_value registry "sim.wall_time_seconds" stats.Sim_stats.wall_time_seconds;
   set_count registry "nodes.live_vector" (Dd.Context.live_v_nodes ctx);
   set_count registry "nodes.live_matrix" (Dd.Context.live_m_nodes ctx);

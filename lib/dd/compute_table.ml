@@ -11,6 +11,7 @@
 
 type 'v t = {
   name : string;
+  dummy : 'v;  (* fills unoccupied slots; also the Table_poison payload *)
   mask : int;
   occupied : Bytes.t;
   k1 : int array;
@@ -46,6 +47,7 @@ let create ~name ~bits ~dummy =
   let capacity = 1 lsl bits in
   {
     name;
+    dummy;
     mask = capacity - 1;
     occupied = Bytes.make capacity '\000';
     k1 = Array.make capacity 0;
@@ -85,7 +87,10 @@ let find (t : 'v t) ~k1 ~k2 ~k3 =
   if Bytes.unsafe_get t.occupied i = '\001' && key_matches t i k1 k2 k3
   then begin
     t.hits <- t.hits + 1;
-    Some t.value.(i)
+    (* fault harness: a poisoned hit hands back the dummy value — the
+       corruption a collision-checking bug or torn store would produce *)
+    if Fault.fire Fault.Table_poison then Some t.dummy
+    else Some t.value.(i)
   end
   else None
 
@@ -104,6 +109,12 @@ let store (t : 'v t) ~k1 ~k2 ~k3 v =
   t.value.(i) <- v;
   t.stamp.(i) <- t.generation;
   t.stores <- t.stores + 1
+
+let iter f (t : 'v t) =
+  for i = 0 to t.mask do
+    if Bytes.unsafe_get t.occupied i = '\001' then
+      f t.k1.(i) t.k2.(i) t.k3.(i) t.value.(i)
+  done
 
 let clear (t : _ t) =
   Bytes.fill t.occupied 0 (Bytes.length t.occupied) '\000';

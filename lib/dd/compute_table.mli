@@ -34,6 +34,10 @@ val store : 'v t -> k1:int -> k2:int -> k3:int -> 'v -> unit
 val clear : 'v t -> unit
 (** Drop every entry.  Counters are kept. *)
 
+val iter : (int -> int -> int -> 'v -> unit) -> 'v t -> unit
+(** [iter f t] applies [f k1 k2 k3 v] to every occupied entry — the
+    auditor's table-consistency walk. *)
+
 val sweep : 'v t -> keep:(int -> int -> int -> 'v -> bool) -> int
 (** One garbage collection over the table: bump the generation, re-stamp
     every entry for which [keep k1 k2 k3 v] holds, drop the rest.  Returns

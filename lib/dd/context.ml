@@ -47,7 +47,17 @@ let create ?tolerance ?(cache_bits = default_cache_bits) () =
   if cache_bits < 4 || cache_bits > 24 then
     invalid_arg "Context.create: cache_bits must be in [4, 24]";
   let ctable = Ctable.create ?tolerance () in
-  let intern z = Ctable.intern ctable z in
+  (* the hash-cons normalisation funnel: every child weight of every new
+     node passes through here, which makes it the one spot where the
+     fault harness can corrupt a weight the way cosmic FP noise would *)
+  let intern z =
+    let z =
+      if Fault.fire Fault.Weight_flip then
+        Cnum.make (Fault.flip_float (Cnum.re z)) (Cnum.im z)
+      else z
+    in
+    Ctable.intern ctable z
+  in
   let table name bits dummy = Compute_table.create ~name ~bits ~dummy in
   let small = max 4 (cache_bits - 4) in
   {
@@ -204,9 +214,19 @@ let collect ctx ~v_roots ~m_roots =
   List.iter (fun (e : Types.medge) -> mark_m e.Types.mt) m_roots;
   Hashtbl.iter (fun _ (e : Types.medge) -> mark_m e.Types.mt)
     ctx.identity_cache;
+  (* fault harness: drop one *marked* (reachable) node from the vector
+     unique table — the over-eager-GC corruption the auditor's
+     canonicity walk must detect *)
+  let drop_budget = ref (if Fault.fire Fault.Unique_drop then 1 else 0) in
   let v_removed =
     Hashcons.V.prune ctx.v_unique ~keep:(fun n ->
-        Hashtbl.mem v_marked n.Types.vid)
+        if Hashtbl.mem v_marked n.Types.vid then
+          if !drop_budget > 0 then begin
+            decr drop_budget;
+            false
+          end
+          else true
+        else false)
   in
   let m_removed =
     Hashcons.M.prune ctx.m_unique ~keep:(fun n ->
@@ -221,6 +241,9 @@ let collect ctx ~v_roots ~m_roots =
   let m_edge_live (e : Types.medge) = m_live e.Types.mt.Types.mid in
   let dropped = ref 0 in
   let ( += ) r n = r := !r + n in
+  (* fault harness: skipping the sweeps leaves entries whose values
+     resolve to freed nodes — the staleness the table audit must catch *)
+  if not (Fault.fire Fault.Table_skip_sweep) then begin
   dropped
   += Compute_table.sweep ctx.add_v ~keep:(fun a b _ v ->
          v_live a && v_live b && v_edge_live v);
@@ -245,7 +268,8 @@ let collect ctx ~v_roots ~m_roots =
   += Compute_table.sweep ctx.adjoint ~keep:(fun a _ _ v ->
          m_live a && m_edge_live v);
   dropped += Compute_table.sweep ctx.norm ~keep:(fun a _ _ _ -> v_live a);
-  dropped += Compute_table.sweep ctx.max_mag ~keep:(fun a _ _ _ -> v_live a);
+  dropped += Compute_table.sweep ctx.max_mag ~keep:(fun a _ _ _ -> v_live a)
+  end;
   (* rebuild-stability flags are intrinsic to their (immutable) nodes and
      ids are never reused, so stale entries are harmless — dropping the
      dead ones just returns the memory with the nodes *)

@@ -43,6 +43,11 @@ module type S = sig
   val created : t -> int
   val iter : (node -> unit) -> t -> unit
   val prune : t -> keep:(node -> bool) -> int
+
+  (* Is this exact node (physical equality) the table's representative?
+     The invariant auditor uses it to detect reachable nodes that were
+     dropped from, or never entered, the unique table. *)
+  val mem : t -> node -> bool
 end
 
 module Make (N : NODE) :
@@ -180,6 +185,7 @@ module Make (N : NODE) :
       let n = t.slots.(!i) in
       if N.id n <> 0 then N.edge pivot n
       else begin
+        if Fault.fire Fault.Alloc_fail then raise Out_of_memory;
         let id = t.created + 1 in
         t.created <- id;
         let node = N.build ~id ~level children in
@@ -188,6 +194,21 @@ module Make (N : NODE) :
         N.edge pivot node
       end
     end
+
+  let mem t node =
+    let i = ref (hash_node node land t.mask) in
+    let result = ref false in
+    let probing = ref true in
+    while !probing do
+      let n = t.slots.(!i) in
+      if N.id n = 0 then probing := false
+      else if n == node then begin
+        result := true;
+        probing := false
+      end
+      else i := (!i + 1) land t.mask
+    done;
+    !result
 
   let prune t ~keep =
     let survivors = ref [] in

@@ -47,6 +47,11 @@ module type S = sig
   (** Drop every node for which [keep] is false; returns how many were
       dropped.  Used by {!Context.collect} — callers must guarantee no
       live edge references a dropped node. *)
+
+  val mem : t -> node -> bool
+  (** Is this exact node (physical equality) the table's resident
+      representative?  False for a node that was pruned or forged —
+      the auditor's canonicity probe. *)
 end
 
 module Make (N : NODE) : S with type node = N.node and type edge = N.edge

@@ -144,10 +144,9 @@ let matrix_of_string ctx text =
 
 (* --- files ------------------------------------------------------------ *)
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
+(* write-to-temp + fsync + atomic rename: a crash mid-write can never
+   leave a truncated DD file at the destination *)
+let write_file path contents = Obs.Safe_io.write_file path contents
 
 let read_file path =
   let ic = open_in path in

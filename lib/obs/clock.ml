@@ -7,6 +7,9 @@ let last = ref 0.
 
 let now () =
   let t = Unix.gettimeofday () in
+  (* fault harness: a skewed reading must never travel backwards through
+     the clamp below — tests assert monotonicity under Clock_skew *)
+  let t = if Fault.fire Fault.Clock_skew then t -. 3600. else t in
   if t > !last then last := t;
   !last
 

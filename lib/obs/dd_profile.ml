@@ -119,7 +119,9 @@ let jsonl ?(meta = []) sink =
       Buffer.add_string buffer (snapshot_to_json s);
       Buffer.add_char buffer '\n')
     (snapshots sink);
-  Buffer.contents buffer
+  (* checksum trailer: lets [ddsim fsck] detect truncation/garbling *)
+  let body = Buffer.contents buffer in
+  body ^ Safe_io.jsonl_trailer body
 
 type run = {
   run_version : int;
@@ -180,8 +182,15 @@ let parse_snapshot json =
   }
 
 let parse_jsonl text =
+  (* newer writers append a checksum trailer line; verify it when present
+     (older files without one still parse) *)
+  let body, trailer = Safe_io.split_jsonl_trailer text in
+  (match trailer with
+  | Some expected when Safe_io.checksum body <> expected ->
+    failwith "profile: checksum mismatch (file truncated or corrupted)"
+  | _ -> ());
   let lines =
-    String.split_on_char '\n' text
+    String.split_on_char '\n' body
     |> List.mapi (fun i line -> (i + 1, line))
     |> List.filter (fun (_, line) -> String.trim line <> "")
   in

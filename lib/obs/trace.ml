@@ -8,6 +8,7 @@ type kind =
   | Renormalize
   | Checkpoint
   | Measure
+  | Audit
 
 type event = {
   kind : kind;

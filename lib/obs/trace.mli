@@ -30,6 +30,7 @@ type kind =
   | Renormalize  (** norm-drift correction applied *)
   | Checkpoint  (** a resumable checkpoint was written *)
   | Measure  (** a qubit was measured and the state collapsed *)
+  | Audit  (** one invariant-auditor pass over the live DDs (span) *)
 
 type event = {
   kind : kind;

@@ -11,6 +11,7 @@ let kind_to_string = function
   | Trace.Renormalize -> "renormalize"
   | Trace.Checkpoint -> "checkpoint"
   | Trace.Measure -> "measure"
+  | Trace.Audit -> "audit"
 
 let kind_of_string = function
   | "gate_applied" -> Some Trace.Gate_applied
@@ -22,6 +23,7 @@ let kind_of_string = function
   | "renormalize" -> Some Trace.Renormalize
   | "checkpoint" -> Some Trace.Checkpoint
   | "measure" -> Some Trace.Measure
+  | "audit" -> Some Trace.Audit
   | _ -> None
 
 let meta_json meta =
@@ -50,7 +52,9 @@ let jsonl ?(meta = []) trace =
            (kind_to_string e.kind) e.t e.dur e.gate_index e.state_nodes
            e.matrix_nodes e.hits e.misses (Json.escape e.detail)))
     trace;
-  Buffer.contents buffer
+  (* checksum trailer: lets [ddsim fsck] detect truncation/garbling *)
+  let body = Buffer.contents buffer in
+  body ^ Safe_io.jsonl_trailer body
 
 let chrome_args (e : Trace.event) =
   let fields = ref [] in
@@ -108,6 +112,7 @@ let all_kinds =
     Trace.Renormalize;
     Trace.Checkpoint;
     Trace.Measure;
+    Trace.Audit;
   ]
 
 let summary trace =
@@ -140,8 +145,4 @@ let summary trace =
     all_kinds;
   Buffer.contents buffer
 
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+let write_file path contents = Safe_io.write_file path contents

@@ -52,8 +52,15 @@ let strip_prefix message =
   else message
 
 let parse_jsonl text =
+  (* newer writers append a checksum trailer line; verify it when present
+     (older files without one still parse) *)
+  let body, trailer = Safe_io.split_jsonl_trailer text in
+  (match trailer with
+  | Some expected when Safe_io.checksum body <> expected ->
+    failwith "trace: checksum mismatch (file truncated or corrupted)"
+  | _ -> ());
   let lines =
-    String.split_on_char '\n' text
+    String.split_on_char '\n' body
     |> List.mapi (fun i line -> (i + 1, line))
     |> List.filter (fun (_, line) -> String.trim line <> "")
   in
@@ -135,6 +142,7 @@ let kind_order = function
   | Trace.Renormalize -> 6
   | Trace.Checkpoint -> 7
   | Trace.Measure -> 8
+  | Trace.Audit -> 9
 
 let phases run =
   let acc = Hashtbl.create 16 in

@@ -448,7 +448,7 @@ let test_wall_time_accumulates () =
   in
   check_bool "wall time accumulates across runs" true (second >= first)
 
-(* -- checkpoint v4 -------------------------------------------------- *)
+(* -- checkpoint v5 -------------------------------------------------- *)
 
 let test_checkpoint_v4_roundtrip () =
   let circuit = Standard.ghz 6 in
@@ -462,7 +462,8 @@ let test_checkpoint_v4_roundtrip () =
       ~gate_index:6
   in
   let text = Dd_sim.Checkpoint.to_string checkpoint in
-  check_bool "v4 header" true (contains "ddsim-checkpoint 4" text);
+  check_bool "v5 header" true (contains "ddsim-checkpoint 5" text);
+  check_bool "checksum trailer present" true (contains "\nchecksum " text);
   let reloaded =
     Dd_sim.Checkpoint.of_string (fresh_ctx ()) ~source:"<test>" text
   in
@@ -476,8 +477,9 @@ let test_checkpoint_v4_roundtrip () =
     restored.Dd_sim.Sim_stats.mat_vec_mults
 
 let test_checkpoint_reads_v3 () =
-  (* downgrade a freshly written v4 checkpoint to the v3 text format: v3
-     headers carried 14 stats fields and no trace/wall data *)
+  (* downgrade a freshly written v5 checkpoint to the v3 text format: v3
+     headers carried 14 stats fields, no trace/wall/audit data and no
+     checksum trailer *)
   let circuit = Standard.ghz 5 in
   let engine = Dd_sim.Engine.create 5 in
   Dd_sim.Engine.run engine circuit;
@@ -489,8 +491,11 @@ let test_checkpoint_reads_v3 () =
   let v4 = Dd_sim.Checkpoint.to_string checkpoint in
   let v3 =
     String.split_on_char '\n' v4
+    |> List.filter (fun line ->
+           not
+             (String.length line > 9 && String.sub line 0 9 = "checksum "))
     |> List.map (fun line ->
-           if line = "ddsim-checkpoint 4" then "ddsim-checkpoint 3"
+           if line = "ddsim-checkpoint 5" then "ddsim-checkpoint 3"
            else if String.length line > 6 && String.sub line 0 6 = "stats " then
              String.concat " "
                (String.split_on_char ' ' line

@@ -268,3 +268,98 @@ let suite =
       Alcotest.test_case "parse_error_names_token" `Quick
         test_parse_error_names_token;
     ]
+
+(* -- fuzz: mutated programs may only fail with a located Parse_error ----- *)
+
+(* A base program touching every statement form the parser knows: version
+   header, include, registers, plain/controlled/parameterised gates,
+   expressions, measure with arrow, comments. *)
+let fuzz_base =
+  "OPENQASM 2.0;\n\
+   include \"qelib1.inc\";\n\
+   // a comment line\n\
+   qreg q[4];\n\
+   creg c[4];\n\
+   h q[0];\n\
+   cx q[0],q[1];\n\
+   u3(pi/2,0.1,-0.2) q[2];\n\
+   crx(0.5) q[1],q[3];\n\
+   rzz(pi/4) q[2],q[3];\n\
+   ccx q[0],q[1],q[2];\n\
+   swap q[1],q[3];\n\
+   barrier q;\n\
+   measure q -> c;\n"
+
+let mutate_once source op a b =
+  let n = String.length source in
+  if n = 0 then source
+  else
+    let a = a mod n and b = b mod n in
+    match op mod 5 with
+    | 0 ->
+      (* delete one character *)
+      String.sub source 0 a ^ String.sub source (a + 1) (n - a - 1)
+    | 1 ->
+      (* insert one printable character *)
+      String.sub source 0 a
+      ^ String.make 1 (Char.chr (32 + (b mod 95)))
+      ^ String.sub source a (n - a)
+    | 2 ->
+      (* swap two characters *)
+      let bytes = Bytes.of_string source in
+      let tmp = Bytes.get bytes a in
+      Bytes.set bytes a (Bytes.get bytes b);
+      Bytes.set bytes b tmp;
+      Bytes.to_string bytes
+    | 3 -> (* truncate *) String.sub source 0 a
+    | _ ->
+      (* splice a slice of the program over another position *)
+      let lo = min a b and hi = max a b in
+      String.sub source 0 lo
+      ^ String.sub source lo (hi - lo)
+      ^ String.sub source lo (n - lo)
+
+let mutation_arb =
+  (* up to three stacked mutations, each (op, position, position) *)
+  QCheck.make
+    ~print:(fun muts ->
+      String.concat "; "
+        (List.map
+           (fun (op, a, b) -> Printf.sprintf "(%d,%d,%d)" op a b)
+           muts))
+    QCheck.Gen.(
+      list_size (1 -- 3)
+        (triple (0 -- 4) (0 -- 1000) (0 -- 1000)))
+
+let prop_mutations_fail_located =
+  QCheck.Test.make
+    ~name:"mutated QASM: parses, or raises a located Parse_error" ~count:800
+    mutation_arb
+    (fun muts ->
+      let source =
+        List.fold_left
+          (fun s (op, a, b) -> mutate_once s op a b)
+          fuzz_base muts
+      in
+      match Qasm.of_string source with
+      | _ -> true
+      | exception Qasm.Parse_error { line; message } ->
+        line >= 1 && String.length message > 0)
+
+let test_duplicate_qubit_is_parse_error () =
+  (* the concrete corruption the fuzzer is most likely to hit: an index
+     mutated into a collision must not leak Invalid_argument from the
+     circuit layer *)
+  let _, message =
+    parse_error_of "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];\n"
+  in
+  check_bool "duplicate argument named" true
+    (contains_sub message "duplicate qubit argument")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "parse_duplicate_qubit" `Quick
+        test_duplicate_qubit_is_parse_error;
+      QCheck_alcotest.to_alcotest prop_mutations_fail_located;
+    ]
