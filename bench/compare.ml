@@ -6,7 +6,13 @@
 
    Exits 1 on any regression (see Obs.Bench_check for the metric
    classes); `ddsim bench-check` is the same comparator behind the main
-   CLI. *)
+   CLI.
+
+   Runs are paired across files by their identity fields (name /
+   benchmark / circuit / mode / strategy / reorder).  The "reorder"
+   dimension postdates some committed baselines: a baseline run without
+   the field pairs with a candidate run carrying reorder:"off", so
+   regrowing the bench matrix does not spuriously fail old baselines. *)
 
 let read_file path =
   let ic = open_in path in

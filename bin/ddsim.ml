@@ -255,6 +255,66 @@ let arm_audit engine ~tolerance = function
   | 0 -> ()
   | every -> Dd_sim.Engine.set_audit engine ~tolerance every
 
+(* dynamic variable reordering, shared by run / simulate / inspect *)
+
+let reorder_arg =
+  let doc =
+    "Dynamic variable reordering policy: $(b,off) (never reorder, the \
+     default), $(b,once) (sift at the first level bulge — or just apply \
+     --order when one is given), or $(b,adaptive) (probe for level \
+     bulges every --reorder-every gates and sift whenever one appears).  \
+     Circuits are untouched: gates keep addressing qubits by index and \
+     are retargeted through the live order."
+  in
+  Arg.(
+    value
+    & opt
+        (Arg.enum [ ("off", `Off); ("once", `Once); ("adaptive", `Adaptive) ])
+        `Off
+    & info [ "reorder" ] ~docv:"POLICY" ~doc)
+
+let order_arg =
+  let doc =
+    "Initial variable order: $(b,identity), or the qubit hosted at each \
+     level from the terminal up, space- or comma-separated (e.g. \
+     $(b,'2,0,1,3') puts qubit 2 at level 0).  Applied to the state \
+     before the run by adjacent-level swaps."
+  in
+  Arg.(value & opt (some string) None & info [ "order" ] ~docv:"SPEC" ~doc)
+
+let bulge_factor_arg =
+  let doc =
+    "Bulge threshold for --reorder: a level counts as bulging when it \
+     holds more than $(docv) times the median per-level node count."
+  in
+  Arg.(value & opt float 4.0 & info [ "bulge-factor" ] ~docv:"F" ~doc)
+
+let reorder_every_arg =
+  let doc =
+    "Minimum applied-gate gap between bulge probes (with --reorder; each \
+     probe walks the state DD)."
+  in
+  Arg.(value & opt int 64 & info [ "reorder-every" ] ~docv:"K" ~doc)
+
+let arm_reorder engine ~policy ~order ~bulge_factor ~every =
+  (match policy with
+  | `Off -> ()
+  | `Once ->
+    Dd_sim.Engine.set_reorder engine ~bulge_factor ~every
+      Dd_sim.Engine.Reorder_once
+  | `Adaptive ->
+    Dd_sim.Engine.set_reorder engine ~bulge_factor ~every
+      Dd_sim.Engine.Reorder_adaptive);
+  match order with
+  | None -> ()
+  | Some spec ->
+    ignore (Dd_sim.Engine.set_order engine (Dd.Order.of_string spec))
+
+let reorder_to_string = function
+  | `Off -> "off"
+  | `Once -> "once"
+  | `Adaptive -> "adaptive"
+
 let guarded_run ?(use_repeating = false) engine circuit ~strategy ~guard
     ~checkpoint ~checkpoint_every ~resume =
   let start_gate =
@@ -417,7 +477,7 @@ let run_cmd =
       strategy repeating construct samples stats no_fused max_nodes
       max_matrix deadline norm_tol auto_gc checkpoint checkpoint_every
       resume trace trace_format metrics profile profile_every stats_json
-      audit_every audit_tol =
+      audit_every audit_tol reorder order bulge_factor reorder_every =
     with_structured_errors @@ fun () ->
     if algo = "shor" then run_shor modulus base strategy construct
     else begin
@@ -428,6 +488,8 @@ let run_cmd =
       let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
       if no_fused then Dd_sim.Engine.set_fused_apply engine false;
       arm_audit engine ~tolerance:audit_tol audit_every;
+      arm_reorder engine ~policy:reorder ~order ~bulge_factor
+        ~every:reorder_every;
       let traced = attach_trace engine trace in
       let profiled = attach_profile engine ~every:profile_every profile in
       let guard =
@@ -442,6 +504,7 @@ let run_cmd =
           ("algo", algo);
           ("qubits", string_of_int Circuit.(circuit.qubits));
           ("strategy", Dd_sim.Strategy.to_string strategy);
+          ("reorder", reorder_to_string reorder);
         ]
       in
       export_trace ~format:trace_format ~meta traced;
@@ -459,7 +522,8 @@ let run_cmd =
       $ deadline_arg $ norm_tol_arg $ auto_gc_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ trace_arg $ trace_format_arg
       $ metrics_arg $ profile_arg $ profile_every_arg $ stats_json_arg
-      $ audit_every_arg $ audit_tol_arg)
+      $ audit_every_arg $ audit_tol_arg $ reorder_arg $ order_arg
+      $ bulge_factor_arg $ reorder_every_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a built-in benchmark circuit.") term
 
@@ -483,7 +547,7 @@ let simulate_cmd =
   let action file strategy seed samples stats no_fused detect max_nodes
       max_matrix deadline norm_tol auto_gc checkpoint checkpoint_every
       resume trace trace_format metrics profile profile_every stats_json
-      audit_every audit_tol =
+      audit_every audit_tol reorder order bulge_factor reorder_every =
     with_structured_errors @@ fun () ->
     let source =
       let ic = open_in file in
@@ -498,6 +562,8 @@ let simulate_cmd =
     let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
     if no_fused then Dd_sim.Engine.set_fused_apply engine false;
     arm_audit engine ~tolerance:audit_tol audit_every;
+    arm_reorder engine ~policy:reorder ~order ~bulge_factor
+      ~every:reorder_every;
     let traced = attach_trace engine trace in
     let profiled = attach_profile engine ~every:profile_every profile in
     let guard =
@@ -512,6 +578,7 @@ let simulate_cmd =
         ("file", file);
         ("qubits", string_of_int Circuit.(circuit.qubits));
         ("strategy", Dd_sim.Strategy.to_string strategy);
+        ("reorder", reorder_to_string reorder);
       ]
     in
     export_trace ~format:trace_format ~meta traced;
@@ -526,7 +593,8 @@ let simulate_cmd =
       $ max_matrix_arg $ deadline_arg $ norm_tol_arg $ auto_gc_arg
       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ trace_arg
       $ trace_format_arg $ metrics_arg $ profile_arg $ profile_every_arg
-      $ stats_json_arg $ audit_every_arg $ audit_tol_arg)
+      $ stats_json_arg $ audit_every_arg $ audit_tol_arg $ reorder_arg
+      $ order_arg $ bulge_factor_arg $ reorder_every_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate an OpenQASM 2.0 file.") term
 
@@ -562,7 +630,11 @@ let dot_cmd =
     in
     let engine = Dd_sim.Engine.create Circuit.(circuit.qubits) in
     Dd_sim.Engine.run engine circuit;
-    let dot = Dd.Dot.vector_to_dot (Dd_sim.Engine.state engine) in
+    let dot =
+      Dd.Dot.vector_to_dot
+        ~order:(Dd.Context.order (Dd_sim.Engine.context engine))
+        (Dd_sim.Engine.state engine)
+    in
     match output with
     | None -> print_string dot
     | Some file ->
@@ -896,20 +968,27 @@ let inspect_dot_arg =
            rows per level) to $(docv).")
 
 let inspect_cmd =
-  let action algo qubits marked rows cols cycles gates seed strategy output =
+  let action algo qubits marked rows cols cycles gates seed strategy output
+      reorder order bulge_factor reorder_every =
     with_structured_errors @@ fun () ->
     let circuit =
       circuit_of_options algo qubits marked rows cols cycles gates seed
     in
     let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
+    arm_reorder engine ~policy:reorder ~order ~bulge_factor
+      ~every:reorder_every;
     Dd_sim.Engine.run ~strategy engine circuit;
+    (* label each level with the qubit it hosts under the live order —
+       under identity the two columns coincide, which is worth seeing *)
+    let live_order = Dd.Context.order (Dd_sim.Engine.context engine) in
     Format.printf "%a@?" Dd.Profile.pp
-      (Dd.Profile.vector (Dd_sim.Engine.state engine));
+      (Dd.Profile.vector ~order:live_order (Dd_sim.Engine.state engine));
     match output with
     | None -> ()
     | Some file ->
       let dot =
-        Dd.Dot.vector_to_dot ~annotate:true (Dd_sim.Engine.state engine)
+        Dd.Dot.vector_to_dot ~annotate:true ~order:live_order
+          (Dd_sim.Engine.state engine)
       in
       Obs.Safe_io.write_file file dot;
       Printf.printf "wrote %s (annotated, %d state nodes)\n" file
@@ -918,7 +997,8 @@ let inspect_cmd =
   let term =
     Term.(
       const action $ algo_arg $ qubits_arg $ marked_arg $ rows_arg $ cols_arg
-      $ cycles_arg $ gates_arg $ seed_arg $ strategy_arg $ inspect_dot_arg)
+      $ cycles_arg $ gates_arg $ seed_arg $ strategy_arg $ inspect_dot_arg
+      $ reorder_arg $ order_arg $ bulge_factor_arg $ reorder_every_arg)
   in
   Cmd.v
     (Cmd.info "inspect"

@@ -8,11 +8,16 @@ let format_magic = "ddsim-checkpoint"
    wall_time_seconds (hex float);
    version 5: the stats line gained the auditor counters (audits_run,
    audit_violations, audit_repairs) and the file gained a mandatory
-   [checksum <hex>] trailer line (FNV-1a over everything before it).
-   Readers accept 2 through 5: fields a version did not carry restore
-   as zero, and the trailer is verified when present (required from
-   version 5 on). *)
-let format_version = 5
+   [checksum <hex>] trailer line (FNV-1a over everything before it);
+   version 6: the file gained an [order <spec>] line (the live
+   level<->qubit variable order, [Dd.Order.to_string] syntax) between
+   the strategy and rng lines, and the stats line gained the four
+   reordering counters (reorders_run, reorder_swaps,
+   reorder_nodes_before, reorder_nodes_after).
+   Readers accept 2 through 6: fields a version did not carry restore
+   as zero (and the order as identity), and the trailer is verified
+   when present (required from version 5 on). *)
+let format_version = 6
 
 let oldest_readable_version = 2
 
@@ -20,6 +25,7 @@ type t = {
   qubits : int;
   gate_index : int;
   strategy : Strategy.t;
+  order : Dd.Order.t;
   state : Dd.Vdd.edge;
   rng : Random.State.t;
   stats : Sim_stats.t;
@@ -30,6 +36,7 @@ let snapshot engine ~strategy ~gate_index =
     qubits = Engine.qubits engine;
     gate_index;
     strategy;
+    order = Dd.Context.order (Engine.context engine);
     state = Engine.state engine;
     rng = Random.State.copy (Engine.rng engine);
     stats = Sim_stats.copy (Engine.stats engine);
@@ -64,10 +71,12 @@ let to_string checkpoint =
         Printf.sprintf "qubits %d" checkpoint.qubits;
         Printf.sprintf "gate_index %d" checkpoint.gate_index;
         Printf.sprintf "strategy %s" (Strategy.to_string checkpoint.strategy);
+        Printf.sprintf "order %s" (Dd.Order.to_string checkpoint.order);
         Printf.sprintf "rng %s"
           (hex_encode (Marshal.to_string checkpoint.rng []));
         Printf.sprintf
-          "stats %d %d %d %d %d %d %d %d %d %d %d %d %d %h %d %h %d %d %d"
+          "stats %d %d %d %d %d %d %d %d %d %d %d %d %d %h %d %h %d %d %d %d \
+           %d %d %d"
           stats.Sim_stats.mat_vec_mults stats.Sim_stats.mat_mat_mults
           stats.Sim_stats.gates_seen stats.Sim_stats.combined_applications
           stats.Sim_stats.peak_state_nodes stats.Sim_stats.peak_matrix_nodes
@@ -77,7 +86,10 @@ let to_string checkpoint =
           stats.Sim_stats.gc_reclaimed_nodes stats.Sim_stats.gc_pause_seconds
           stats.Sim_stats.trace_events_dropped
           stats.Sim_stats.wall_time_seconds stats.Sim_stats.audits_run
-          stats.Sim_stats.audit_violations stats.Sim_stats.audit_repairs;
+          stats.Sim_stats.audit_violations stats.Sim_stats.audit_repairs
+          stats.Sim_stats.reorders_run stats.Sim_stats.reorder_swaps
+          stats.Sim_stats.reorder_nodes_before
+          stats.Sim_stats.reorder_nodes_after;
         "state";
         Dd.Serialize.vector_to_string checkpoint.state;
       ]
@@ -111,8 +123,7 @@ let of_string context ?(source = "<string>") text =
       invalid ~source (Printf.sprintf "%s is not an integer: %S" name raw)
   in
   match lines with
-  | header :: qubits :: gate_index :: strategy :: rng :: stats :: marker
-    :: state_lines ->
+  | header :: qubits :: gate_index :: strategy :: rest ->
     let version =
       let ok v =
         v >= oldest_readable_version && v <= format_version
@@ -126,6 +137,25 @@ let of_string context ?(source = "<string>") text =
     in
     if version >= 5 && trailer = None then
       invalid ~source "missing checksum trailer";
+    (* the order line joined in v6; earlier versions could only have run
+       under the identity order *)
+    let order, rest =
+      if version >= 6 then
+        match rest with
+        | order_line :: rest -> (
+          let raw = field ~name:"order" order_line in
+          match Dd.Order.of_string raw with
+          | order -> (order, rest)
+          | exception Invalid_argument message -> invalid ~source message)
+        | [] -> invalid ~source "truncated checkpoint"
+      else (Dd.Order.identity, rest)
+    in
+    let rng, stats, marker, state_lines =
+      match rest with
+      | rng :: stats :: marker :: state_lines ->
+        (rng, stats, marker, state_lines)
+      | _ -> invalid ~source "truncated checkpoint"
+    in
     let qubits = int_field ~name:"qubits" qubits in
     if qubits < 1 then invalid ~source "qubits must be >= 1";
     let gate_index = int_field ~name:"gate_index" gate_index in
@@ -193,10 +223,24 @@ let of_string context ?(source = "<string>") text =
       stats_record.Sim_stats.audits_run <- stats_int au;
       stats_record.Sim_stats.audit_violations <- stats_int av;
       stats_record.Sim_stats.audit_repairs <- stats_int ar
+    | ( 6,
+        [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw; fp; ga; gr; gp; td; wt;
+          au; av; ar; rr; rs; rb; ra ] ) ->
+      common mv mm gs ca ps pm fb gc rn cw fp ga gr gp;
+      stats_record.Sim_stats.trace_events_dropped <- stats_int td;
+      stats_record.Sim_stats.wall_time_seconds <- stats_float wt;
+      stats_record.Sim_stats.audits_run <- stats_int au;
+      stats_record.Sim_stats.audit_violations <- stats_int av;
+      stats_record.Sim_stats.audit_repairs <- stats_int ar;
+      stats_record.Sim_stats.reorders_run <- stats_int rr;
+      stats_record.Sim_stats.reorder_swaps <- stats_int rs;
+      stats_record.Sim_stats.reorder_nodes_before <- stats_int rb;
+      stats_record.Sim_stats.reorder_nodes_after <- stats_int ra
     | 2, _ -> invalid ~source "stats line must carry exactly 12 fields"
     | 3, _ -> invalid ~source "stats line must carry exactly 14 fields"
     | 4, _ -> invalid ~source "stats line must carry exactly 16 fields"
-    | _, _ -> invalid ~source "stats line must carry exactly 19 fields");
+    | 5, _ -> invalid ~source "stats line must carry exactly 19 fields"
+    | _, _ -> invalid ~source "stats line must carry exactly 23 fields");
     if marker <> "state" then
       invalid ~source (Printf.sprintf "expected \"state\" marker, got %S" marker);
     let state =
@@ -210,7 +254,12 @@ let of_string context ?(source = "<string>") text =
       invalid ~source
         (Printf.sprintf "state has height %d, expected %d qubits"
            (Dd.Types.v_height state) qubits);
-    { qubits; gate_index; strategy; state; rng; stats = stats_record }
+    if not (Dd.Order.is_identity order) && Dd.Order.size order <> qubits
+    then
+      invalid ~source
+        (Printf.sprintf "order covers %d levels, expected %d qubits"
+           (Dd.Order.size order) qubits);
+    { qubits; gate_index; strategy; order; state; rng; stats = stats_record }
   | _ -> invalid ~source "truncated checkpoint"
 
 let save engine ~strategy ~gate_index ~path =
@@ -235,12 +284,21 @@ type generation = Current | Previous
 let load_latest context ~path =
   match load context ~path with
   | checkpoint -> (checkpoint, Current)
-  | exception (Error.Error (Error.Invalid_checkpoint _) as original) -> (
+  | exception
+      Error.Error
+        (Error.Invalid_checkpoint { message = current_message; _ }) -> (
     match load context ~path:(path ^ ".prev") with
     | checkpoint -> (checkpoint, Previous)
-    | exception Error.Error (Error.Invalid_checkpoint _) ->
-      (* report the failure of the generation the user named *)
-      raise original)
+    | exception
+        Error.Error
+          (Error.Invalid_checkpoint { message = previous_message; _ }) ->
+      (* both generations failed: report each file with its own reason,
+         not just the first failure — the user needs to know the rotated
+         generation was tried and why it was rejected too *)
+      invalid ~source:path
+        (Printf.sprintf
+           "no loadable generation: %s (and fallback %s.prev: %s)"
+           current_message path previous_message))
 
 let restore engine checkpoint =
   if checkpoint.qubits <> Engine.qubits engine then
@@ -251,6 +309,7 @@ let restore engine checkpoint =
            expected = Engine.qubits engine;
            actual = checkpoint.qubits;
          });
+  Dd.Context.set_order (Engine.context engine) checkpoint.order;
   Engine.set_state engine checkpoint.state;
   Engine.set_rng engine (Random.State.copy checkpoint.rng);
   Sim_stats.assign (Engine.stats engine) checkpoint.stats;

@@ -26,6 +26,9 @@ type t = {
   qubits : int;
   gate_index : int;  (** gates (application order) reflected in [state] *)
   strategy : Strategy.t;
+  order : Dd.Order.t;
+      (** the live level<->qubit variable order the state DD was built
+          under; identity for checkpoints written before format v6 *)
   state : Dd.Vdd.edge;
   rng : Random.State.t;
   stats : Sim_stats.t;
@@ -59,11 +62,13 @@ type generation = Current | Previous
 val load_latest : Dd.Context.t -> path:string -> t * generation
 (** [load path]; if that fails with [Invalid_checkpoint], fall back to
     the rotated [path ^ ".prev"] generation, reporting which one was
-    restored.  When both generations are unreadable, re-raises the
-    error for [path] itself. *)
+    restored.  When both generations are unreadable, raises
+    [Invalid_checkpoint] naming *each* file with its own failure reason
+    — not a generic fallback message. *)
 
 val restore : Engine.t -> t -> int
-(** Install the checkpoint's state, RNG and statistics into the engine and
-    return its [gate_index] — the value to pass as [?start_gate] to
-    {!Engine.run}.  Raises {!Error.Error} ([Width_mismatch]) when the
-    checkpoint's width differs from the engine's. *)
+(** Install the checkpoint's state, variable order, RNG and statistics
+    into the engine and return its [gate_index] — the value to pass as
+    [?start_gate] to {!Engine.run}.  Raises {!Error.Error}
+    ([Width_mismatch]) when the checkpoint's width differs from the
+    engine's. *)

@@ -25,7 +25,18 @@ type t = {
   mutable audit_every : int;
   mutable audit_tol : float;
   mutable last_audit : int;
+  (* dynamic variable reordering policy (--reorder); Off costs one load
+     and one branch per applied gate *)
+  mutable reorder_policy : reorder_policy;
+  mutable bulge_factor : float;
+  (* minimum applied-gate gap between bulge probes (each probe walks the
+     state DD to count nodes per level, so it must not run every gate) *)
+  mutable reorder_every : int;
+  mutable last_reorder : int;
+  mutable reorder_done : bool;
 }
+
+and reorder_policy = Reorder_off | Reorder_once | Reorder_adaptive
 
 let create ?(seed = 0xDD) ?context n =
   if n <= 0 then
@@ -47,6 +58,11 @@ let create ?(seed = 0xDD) ?context n =
     audit_every = 0;
     audit_tol = 1e-6;
     last_audit = 0;
+    reorder_policy = Reorder_off;
+    bulge_factor = 4.0;
+    reorder_every = 64;
+    last_reorder = 0;
+    reorder_done = false;
   }
 
 let context engine = engine.context
@@ -68,8 +84,11 @@ let set_state engine edge =
   engine.state_edge <- edge
 
 let reset engine =
+  Dd.Context.set_order engine.context Dd.Order.identity;
   engine.state_edge <- Dd.Vdd.basis engine.context ~n:engine.n 0;
   engine.last_audit <- 0;
+  engine.last_reorder <- 0;
+  engine.reorder_done <- false;
   Sim_stats.reset engine.stats
 
 let set_track_peaks engine flag = engine.track_peaks <- flag
@@ -174,6 +193,95 @@ let run_audit engine ~gate ~strategy =
 let audit_now engine =
   run_audit engine ~gate:engine.stats.gates_seen
     ~strategy:Strategy.Sequential
+
+let set_reorder engine ?(bulge_factor = 4.0) ?(every = 64) policy =
+  if (not (Float.is_finite bulge_factor)) || bulge_factor <= 1. then
+    Error.invalid_parameter ~what:"Engine.set_reorder"
+      (Printf.sprintf "bulge factor must be > 1 (got %g)" bulge_factor);
+  if every < 1 then
+    Error.invalid_parameter ~what:"Engine.set_reorder"
+      (Printf.sprintf "cadence must be >= 1 (got %d)" every);
+  engine.reorder_policy <- policy;
+  engine.bulge_factor <- bulge_factor;
+  engine.reorder_every <- every;
+  engine.last_reorder <- 0;
+  engine.reorder_done <- false
+
+let reorder_policy engine = engine.reorder_policy
+
+let note_reorder engine ~t0 ~gate ~swaps ~nodes_before ~nodes_after ~detail
+    =
+  engine.stats.reorders_run <- engine.stats.reorders_run + 1;
+  engine.stats.reorder_swaps <- engine.stats.reorder_swaps + swaps;
+  engine.stats.reorder_nodes_before <-
+    engine.stats.reorder_nodes_before + nodes_before;
+  engine.stats.reorder_nodes_after <-
+    engine.stats.reorder_nodes_after + nodes_after;
+  if Obs.Trace.is_on engine.trace then
+    Obs.Trace.span engine.trace Obs.Trace.Reorder ~t0 ~gate
+      ~state_nodes:nodes_after ~matrix_nodes:(-1) ~hits:0 ~misses:0
+      ~detail:
+        (Printf.sprintf "%s: %d swaps, %d -> %d nodes" detail swaps
+           nodes_before nodes_after)
+
+(* One sifting pass over the live state: the state edge and the context's
+   order move together (every adjacent swap updates both), so callers see
+   a semantically identical state under a cheaper order. *)
+let reorder_now ?max_growth ?max_passes engine =
+  let traced = Obs.Trace.is_on engine.trace in
+  let t0 = if traced then Obs.Trace.now engine.trace else 0. in
+  let edge, rstats =
+    Dd.Reorder.sift ?max_growth ?max_passes engine.context engine.state_edge
+  in
+  engine.state_edge <- edge;
+  note_reorder engine ~t0 ~gate:engine.stats.gates_seen
+    ~swaps:rstats.Dd.Reorder.swaps
+    ~nodes_before:rstats.Dd.Reorder.nodes_before
+    ~nodes_after:rstats.Dd.Reorder.nodes_after ~detail:"sift";
+  rstats
+
+(* Permute the live state to an explicit target order (the --order flag).
+   Counts as a reordering pass and satisfies the Once policy — a
+   hand-picked order should not be second-guessed by a later sift. *)
+let set_order engine order =
+  if not (Dd.Order.is_identity order) && Dd.Order.size order <> engine.n
+  then
+    Error.invalid_parameter ~what:"Engine.set_order"
+      (Printf.sprintf "order covers %d levels, engine has %d qubits"
+         (Dd.Order.size order) engine.n);
+  let traced = Obs.Trace.is_on engine.trace in
+  let t0 = if traced then Obs.Trace.now engine.trace else 0. in
+  let nodes_before = Dd.Vdd.node_count engine.state_edge in
+  let edge, swaps =
+    Dd.Reorder.apply_order engine.context engine.state_edge order
+  in
+  engine.state_edge <- edge;
+  note_reorder engine ~t0 ~gate:engine.stats.gates_seen ~swaps
+    ~nodes_before
+    ~nodes_after:(Dd.Vdd.node_count edge)
+    ~detail:"explicit order";
+  engine.reorder_done <- true;
+  swaps
+
+(* Bulge probe + sift, at the [reorder_every] cadence.  The probe itself
+   walks the state DD (O(size)), so [last_reorder] advances on every
+   probe — triggered or not — to keep the amortised cost bounded. *)
+let maybe_reorder engine ~gate =
+  match engine.reorder_policy with
+  | Reorder_off -> ()
+  | Reorder_once when engine.reorder_done -> ()
+  | Reorder_once | Reorder_adaptive ->
+    if gate - engine.last_reorder >= engine.reorder_every then begin
+      engine.last_reorder <- gate;
+      let counts = Dd.Reorder.per_level_nodes engine.state_edge in
+      match
+        Obs.Dd_profile.bulge ~factor:engine.bulge_factor counts
+      with
+      | Some _ ->
+        engine.reorder_done <- true;
+        ignore (reorder_now engine)
+      | None -> ()
+    end
 
 (* A traced run keeps the peaks too: the report cross-checks the
    trajectory maximum against [peak_state_nodes], and a trace without its
@@ -492,7 +600,7 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
       Obs.Dd_profile.emit profile
         (Dd.Profile.vector ~gate:!applied
            ~t:(Obs.Clock.now () -. run_t0)
-           engine.state_edge)
+           ~order:(Dd.Context.order ctx) engine.state_edge)
   in
   (* after the state advanced and no window is pending: guard the new
      state, then maybe checkpoint — the only points where a periodic
@@ -511,6 +619,8 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
     end;
     if audit_due engine ~gate:!applied then
       ignore (run_audit engine ~gate:!applied ~strategy);
+    (* reorder before profiling, so snapshots reflect the new order *)
+    maybe_reorder engine ~gate:!applied;
     maybe_profile ();
     write_checkpoint ~force:false ()
   in
@@ -684,18 +794,22 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
         Obs.Dd_profile.emit profile
           (Dd.Profile.vector ~gate:!applied
              ~t:(Obs.Clock.now () -. run_t0)
-             engine.state_edge);
+             ~order:(Dd.Context.order ctx) engine.state_edge);
       if Option.is_none on_checkpoint then ()
       else if !applied > !last_checkpoint then write_checkpoint ~force:true ())
 
 let amplitude engine index =
-  Dd.Vdd.amplitude engine.state_edge ~n:engine.n index
+  Dd.Vdd.amplitude
+    ~order:(Dd.Context.order engine.context)
+    engine.state_edge ~n:engine.n index
 
 let probability_one engine ~qubit =
   Dd.Measure.probability_one engine.context engine.state_edge ~qubit
 
 let probabilities engine =
-  Dd.Measure.probabilities engine.state_edge ~n:engine.n
+  Dd.Measure.probabilities
+    ~order:(Dd.Context.order engine.context)
+    engine.state_edge ~n:engine.n
 
 let state_node_count engine = Dd.Vdd.node_count engine.state_edge
 

@@ -101,6 +101,46 @@ val audit_now : t -> int
     number of violations found before recovery.  Raises {!Error.Error}
     ([Audit_failure]) when violations survive the recovery ladder. *)
 
+(** {1 Dynamic variable reordering}
+
+    The engine owns the policy behind [--reorder]: the state DD's
+    level<->qubit order ({!Dd.Order}) may be changed mid-run — by
+    sifting ({!Dd.Reorder.sift}) or an explicit target order — while
+    circuits keep addressing qubits by their original indices (gate
+    application translates through the context's order). *)
+
+type reorder_policy =
+  | Reorder_off  (** never reorder (the default) *)
+  | Reorder_once
+      (** reorder at most once: the first level bulge triggers one
+          sifting pass (or {!set_order} counts as the one pass) *)
+  | Reorder_adaptive
+      (** probe for level bulges at the configured cadence and sift
+          whenever one appears *)
+
+val set_reorder : t -> ?bulge_factor:float -> ?every:int -> reorder_policy -> unit
+(** Arm the reordering policy.  [bulge_factor] (default [4.0], must be
+    [> 1]) is the multiple of the median per-level node count beyond
+    which a level counts as a bulge ({!Obs.Dd_profile.bulge});
+    [every] (default [64], must be [>= 1]) is the minimum number of
+    applied gates between bulge probes (each probe walks the state DD,
+    so it must not run per gate). *)
+
+val reorder_policy : t -> reorder_policy
+
+val reorder_now :
+  ?max_growth:float -> ?max_passes:int -> t -> Dd.Reorder.stats
+(** Run one sifting pass over the live state immediately, updating the
+    context's order, the state edge and the reorder statistics
+    counters.  Parameters as {!Dd.Reorder.sift}. *)
+
+val set_order : t -> Dd.Order.t -> int
+(** Permute the live state to an explicit target order (the [--order]
+    flag) via adjacent swaps; returns the number of swaps applied.
+    Counts as a reordering pass and satisfies the [Reorder_once]
+    policy.  Raises {!Error.Error} ([Invalid_parameter]) when the
+    order's width differs from the engine's. *)
+
 val gate_dd : t -> Gate.t -> Dd.Mdd.edge
 (** Build the matrix DD of one elementary gate on this engine's width. *)
 

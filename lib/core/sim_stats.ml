@@ -18,6 +18,10 @@ type t = {
   mutable audits_run : int;
   mutable audit_violations : int;
   mutable audit_repairs : int;
+  mutable reorders_run : int;
+  mutable reorder_swaps : int;
+  mutable reorder_nodes_before : int;
+  mutable reorder_nodes_after : int;
 }
 
 let create () =
@@ -41,6 +45,10 @@ let create () =
     audits_run = 0;
     audit_violations = 0;
     audit_repairs = 0;
+    reorders_run = 0;
+    reorder_swaps = 0;
+    reorder_nodes_before = 0;
+    reorder_nodes_after = 0;
   }
 
 let reset stats =
@@ -62,7 +70,11 @@ let reset stats =
   stats.trace_events_dropped <- 0;
   stats.audits_run <- 0;
   stats.audit_violations <- 0;
-  stats.audit_repairs <- 0
+  stats.audit_repairs <- 0;
+  stats.reorders_run <- 0;
+  stats.reorder_swaps <- 0;
+  stats.reorder_nodes_before <- 0;
+  stats.reorder_nodes_after <- 0
 
 let copy stats = { stats with mat_vec_mults = stats.mat_vec_mults }
 
@@ -85,7 +97,11 @@ let assign dst src =
   dst.trace_events_dropped <- src.trace_events_dropped;
   dst.audits_run <- src.audits_run;
   dst.audit_violations <- src.audit_violations;
-  dst.audit_repairs <- src.audit_repairs
+  dst.audit_repairs <- src.audit_repairs;
+  dst.reorders_run <- src.reorders_run;
+  dst.reorder_swaps <- src.reorder_swaps;
+  dst.reorder_nodes_before <- src.reorder_nodes_before;
+  dst.reorder_nodes_after <- src.reorder_nodes_after
 
 let pp fmt stats =
   let fast_pct =
@@ -119,4 +135,9 @@ let pp fmt stats =
     Format.fprintf fmt " trace-dropped=%d" stats.trace_events_dropped;
   if stats.audits_run > 0 then
     Format.fprintf fmt " audits=%d audit-violations=%d audit-repairs=%d"
-      stats.audits_run stats.audit_violations stats.audit_repairs
+      stats.audits_run stats.audit_violations stats.audit_repairs;
+  if stats.reorders_run > 0 then
+    Format.fprintf fmt
+      " reorders=%d reorder-swaps=%d reorder-nodes=%d->%d"
+      stats.reorders_run stats.reorder_swaps stats.reorder_nodes_before
+      stats.reorder_nodes_after

@@ -49,6 +49,15 @@ type t = {
   mutable audit_repairs : int;
       (** audit passes whose violations were fully repaired by the
           recovery ladder *)
+  mutable reorders_run : int;
+      (** variable-reordering (sifting or explicit-order) passes executed
+          by the engine's [--reorder] policy *)
+  mutable reorder_swaps : int;
+      (** adjacent-level swaps applied across all reordering passes *)
+  mutable reorder_nodes_before : int;
+      (** cumulative state-DD node count entering reordering passes *)
+  mutable reorder_nodes_after : int;
+      (** cumulative state-DD node count leaving reordering passes *)
 }
 
 val create : unit -> t

@@ -30,6 +30,12 @@ let populate registry engine =
   set_count registry "sim.audits_run" stats.Sim_stats.audits_run;
   set_count registry "sim.audit_violations" stats.Sim_stats.audit_violations;
   set_count registry "sim.audit_repairs" stats.Sim_stats.audit_repairs;
+  set_count registry "sim.reorders_run" stats.Sim_stats.reorders_run;
+  set_count registry "sim.reorder_swaps" stats.Sim_stats.reorder_swaps;
+  set_count registry "sim.reorder_nodes_before"
+    stats.Sim_stats.reorder_nodes_before;
+  set_count registry "sim.reorder_nodes_after"
+    stats.Sim_stats.reorder_nodes_after;
   set_value registry "sim.wall_time_seconds" stats.Sim_stats.wall_time_seconds;
   set_count registry "nodes.live_vector" (Dd.Context.live_v_nodes ctx);
   set_count registry "nodes.live_matrix" (Dd.Context.live_m_nodes ctx);

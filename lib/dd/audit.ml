@@ -8,12 +8,13 @@ type violation =
   | Level_skew of { dd : string; level : int; id : int }
   | Norm_drift of { norm : float; tolerance : float }
   | Stale_entry of { table : string; k1 : int; k2 : int; k3 : int }
+  | Order_skew of { detail : string }
 
 type violation_class = Canonicity | Norm | Table
 
 let class_of = function
   | Unrepresented_node _ | Pivot_rule _ | Zero_stub _ | Uninterned_weight _
-  | Level_skew _ ->
+  | Level_skew _ | Order_skew _ ->
     Canonicity
   | Norm_drift _ -> Norm
   | Stale_entry _ -> Table
@@ -42,6 +43,8 @@ let to_string = function
     Printf.sprintf
       "compute table %s entry (%d, %d, %d) resolves to a freed node" table
       k1 k2 k3
+  | Order_skew { detail } ->
+    Printf.sprintf "level<->qubit order is inconsistent: %s" detail
 
 (* slack for "magnitude at most one": normalised weights are exact
    quotients, but interning may merge a weight with a canonical value up
@@ -223,6 +226,25 @@ let check_tables ctx =
   check_m ctx.Context.mul_mm;
   check_m ctx.Context.adjoint;
   List.rev !violations
+
+(* The order map is part of the representation's meaning: if the two
+   arrays stop being mutually inverse permutations, every qubit-facing
+   translation (gate targets, measurement, amplitudes) silently reads the
+   wrong wire.  Re-derive the invariant from the arrays themselves. *)
+let check_order ctx =
+  let order = Context.order ctx in
+  if Order.is_identity order || Order.is_valid order then []
+  else
+    [
+      Order_skew
+        {
+          detail =
+            Printf.sprintf
+              "qubit_of_level [%s] and level_of_qubit are not mutually \
+               inverse permutations"
+              (Order.to_string order);
+        };
+    ]
 
 let rebuild_vector ctx (edge : Types.vedge) =
   let memo = Hashtbl.create 256 in

@@ -29,6 +29,10 @@ type violation =
       (** the recomputed state norm left the tolerance band around 1 *)
   | Stale_entry of { table : string; k1 : int; k2 : int; k3 : int }
       (** a compute-table value resolves to a node no longer resident *)
+  | Order_skew of { detail : string }
+      (** the context's level<->qubit arrays are not mutually inverse
+          permutations — qubit-facing translations would read the wrong
+          wires *)
 
 type violation_class = Canonicity | Norm | Table
 
@@ -43,6 +47,10 @@ val check_vector :
 
 val check_matrix : Context.t -> Types.medge -> violation list
 (** Structural invariants of a matrix DD (no norm check). *)
+
+val check_order : Context.t -> violation list
+(** Verify the context's live {!Order.t} is self-consistent (mutually
+    inverse permutations).  Cheap — O(n) in the register width. *)
 
 val check_tables : Context.t -> violation list
 (** Unique-/compute-table consistency: every occupied entry of every

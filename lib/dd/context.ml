@@ -39,6 +39,12 @@ type t = {
   (* attached by Engine.set_trace; Trace.null (disabled) by default so the
      kernels never pay more than a flag check *)
   mutable trace : Obs.Trace.t;
+  (* the live level<->qubit map; Order.identity until a reorder.  Node
+     semantics are purely level-based, so changing the order never
+     invalidates unique tables or compute caches — it only changes how
+     qubit-facing entry points (basis, gate targets, measurement,
+     amplitudes) translate into levels. *)
+  mutable order : Order.t;
 }
 
 let default_cache_bits = 16
@@ -87,9 +93,14 @@ let create ?tolerance ?(cache_bits = default_cache_bits) () =
         entries_invalidated = 0;
       };
     trace = Obs.Trace.null;
+    order = Order.identity;
   }
 
 let set_trace ctx trace = ctx.trace <- trace
+let set_order ctx order = ctx.order <- order
+let order ctx = ctx.order
+let level_of_qubit ctx q = Order.level_of_qubit ctx.order q
+let qubit_of_level ctx l = Order.qubit_of_level ctx.order l
 
 let cnum ctx z = Ctable.intern ctx.ctable z
 

@@ -41,6 +41,11 @@ type t = {
   mutable trace : Obs.Trace.t;
       (** event sink for kernel-level spans ({!collect} emits [Gc]);
           {!Obs.Trace.null} — disabled, zero-cost — until one is attached *)
+  mutable order : Order.t;
+      (** the live level<->qubit map ({!Order.identity} by default).
+          Node semantics are level-based, so installing a new order never
+          invalidates the unique tables or compute caches — it only
+          retargets the qubit-facing entry points. *)
 }
 
 val create : ?tolerance:float -> ?cache_bits:int -> unit -> t
@@ -54,6 +59,20 @@ val cnum : t -> Cnum.t -> Cnum.t
 
 val set_trace : t -> Obs.Trace.t -> unit
 (** Attach an event sink; pass {!Obs.Trace.null} to detach. *)
+
+val set_order : t -> Order.t -> unit
+(** Install a level<->qubit order.  The caller is responsible for keeping
+    any live DDs consistent with it — {!Reorder} changes the order and
+    the state together; setting an order against an entangled state built
+    under a different one silently re-labels its qubits. *)
+
+val order : t -> Order.t
+
+val level_of_qubit : t -> int -> int
+(** Level hosting a qubit under the context's live order. *)
+
+val qubit_of_level : t -> int -> int
+(** Qubit hosted at a level under the context's live order. *)
 
 val apply_kind_id : t -> int * int * int * int -> int
 (** Dense collision-free id for a structured-apply gate kind — the

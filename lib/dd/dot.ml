@@ -10,8 +10,10 @@ let weight_label ?(annotate = false) w =
   else Printf.sprintf " [label=\"%s\"]" (Cnum.to_string w)
 
 (* [rank=same] rows per level, with a plaintext level label, so annotated
-   drawings line qubits up horizontally *)
-let add_level_ranks buf by_level =
+   drawings line qubits up horizontally.  The label names both the level
+   and the qubit it hosts under [order] — distinct once reordering is in
+   play, and worth spelling out even for the identity order. *)
+let add_level_ranks ~order buf by_level =
   let levels =
     Hashtbl.fold (fun level _ acc -> level :: acc) by_level []
     |> List.sort_uniq (fun a b -> compare b a)
@@ -21,13 +23,16 @@ let add_level_ranks buf by_level =
       let ids = Hashtbl.find_all by_level level in
       Buffer.add_string buf
         (Printf.sprintf
-           "  level%d [shape=plaintext, label=\"level %d\"];\n\
+           "  level%d [shape=plaintext, label=\"level %d (qubit %d)\"];\n\
            \  { rank=same; level%d; %s }\n"
-           level level level
+           level level
+           (Order.qubit_of_level order level)
+           level
            (String.concat "; " (List.rev ids))))
     levels
 
-let vector_to_dot ?(name = "vector_dd") ?(annotate = false) edge =
+let vector_to_dot ?(name = "vector_dd") ?(annotate = false)
+    ?(order = Order.identity) edge =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
   Buffer.add_string buf "  node [shape=circle];\n";
@@ -55,7 +60,8 @@ let vector_to_dot ?(name = "vector_dd") ?(annotate = false) edge =
       let src = Printf.sprintf "v%d" node.vid in
       if annotate then Hashtbl.add by_level node.level src;
       Buffer.add_string buf
-        (Printf.sprintf "  %s [label=\"q%d\"];\n" src node.level);
+        (Printf.sprintf "  %s [label=\"q%d\"];\n" src
+           (Order.qubit_of_level order node.level));
       edge_line src node.v_low " [style=dashed]";
       edge_line src node.v_high "")
     edge;
@@ -68,11 +74,12 @@ let vector_to_dot ?(name = "vector_dd") ?(annotate = false) edge =
       (Printf.sprintf "  root [shape=none, label=\"\"];\n  root -> %s%s;\n"
          dst (weight_label ~annotate edge.vw))
   end;
-  if annotate then add_level_ranks buf by_level;
+  if annotate then add_level_ranks ~order buf by_level;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let matrix_to_dot ?(name = "matrix_dd") ?(annotate = false) edge =
+let matrix_to_dot ?(name = "matrix_dd") ?(annotate = false)
+    ?(order = Order.identity) edge =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
   Buffer.add_string buf "  node [shape=circle];\n";
@@ -108,7 +115,8 @@ let matrix_to_dot ?(name = "matrix_dd") ?(annotate = false) edge =
       let src = Printf.sprintf "m%d" node.mid in
       if annotate then Hashtbl.add by_level node.level src;
       Buffer.add_string buf
-        (Printf.sprintf "  %s [label=\"q%d\"];\n" src node.level);
+        (Printf.sprintf "  %s [label=\"q%d\"];\n" src
+           (Order.qubit_of_level order node.level));
       edge_line src "00" node.m00;
       edge_line src "01" node.m01;
       edge_line src "10" node.m10;
@@ -123,6 +131,6 @@ let matrix_to_dot ?(name = "matrix_dd") ?(annotate = false) edge =
       (Printf.sprintf "  root [shape=none, label=\"\"];\n  root -> %s%s;\n"
          dst (weight_label ~annotate edge.mw))
   end;
-  if annotate then add_level_ranks buf by_level;
+  if annotate then add_level_ranks ~order buf by_level;
   Buffer.add_string buf "}\n";
   Buffer.contents buf

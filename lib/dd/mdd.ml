@@ -50,16 +50,22 @@ let gate ctx ~n ~target ?(controls = []) entries =
   if Array.length entries <> 4 then reject "entries must hold 4 values";
   if target < 0 || target >= n then
     reject (Printf.sprintf "target %d out of range for %d qubits" target n);
+  (* target/control indices are qubits; translate them to levels through
+     the context's live order, after which the construction below is
+     purely level-indexed (identical to the historical behaviour under
+     the identity order) *)
   let polarity = Array.make n None in
   List.iter
     (fun { c_qubit; c_positive } ->
       if c_qubit < 0 || c_qubit >= n then
         reject (Printf.sprintf "control %d out of range for %d qubits" c_qubit n);
       if c_qubit = target then reject "control equals target";
-      if polarity.(c_qubit) <> None then
+      let c_level = Context.level_of_qubit ctx c_qubit in
+      if polarity.(c_level) <> None then
         reject (Printf.sprintf "duplicate control %d" c_qubit);
-      polarity.(c_qubit) <- Some c_positive)
+      polarity.(c_level) <- Some c_positive)
     controls;
+  let target = Context.level_of_qubit ctx target in
   let blocks =
     Array.map (fun w -> terminal_edge ctx w)
       (Array.map (Context.cnum ctx) entries)
@@ -90,10 +96,12 @@ let gate ctx ~n ~target ?(controls = []) entries =
 
 (* |row><col| on [n] qubits: a single path of nodes. *)
 let outer_product ctx ~n ~row ~col =
+  let order = ctx.Context.order in
   let rec build level edge =
     if level >= n then edge
     else
-      let rbit = (row lsr level) land 1 and cbit = (col lsr level) land 1 in
+      let q = Order.qubit_of_level order level in
+      let rbit = (row lsr q) land 1 and cbit = (col lsr q) land 1 in
       let place i j = if i = rbit && j = cbit then edge else m_zero in
       build (level + 1)
         (make ctx level (place 0 0) (place 0 1) (place 1 0) (place 1 1))
@@ -156,15 +164,16 @@ let of_dense ctx matrix =
     (fun row ->
       if Array.length row <> dim then invalid_arg "Mdd.of_dense: not square")
     matrix;
-  let rec build level rowoff coloff =
-    if level < 0 then terminal_edge ctx matrix.(rowoff).(coloff)
+  let order = ctx.Context.order in
+  let rec build level rowidx colidx =
+    if level < 0 then terminal_edge ctx matrix.(rowidx).(colidx)
     else
-      let half = 1 lsl level in
+      let high = 1 lsl Order.qubit_of_level order level in
       make ctx level
-        (build (level - 1) rowoff coloff)
-        (build (level - 1) rowoff (coloff + half))
-        (build (level - 1) (rowoff + half) coloff)
-        (build (level - 1) (rowoff + half) (coloff + half))
+        (build (level - 1) rowidx colidx)
+        (build (level - 1) rowidx (colidx lor high))
+        (build (level - 1) (rowidx lor high) colidx)
+        (build (level - 1) (rowidx lor high) (colidx lor high))
   in
   let rec log2 k acc = if k = 1 then acc else log2 (k lsr 1) (acc + 1) in
   build (log2 dim 0 - 1) 0 0
@@ -282,14 +291,15 @@ let kron ctx a b =
     lift a
   end
 
-let entry edge ~n ~row ~col =
+let entry ?(order = Order.identity) edge ~n ~row ~col =
   let rec walk edge level acc =
     if m_is_zero edge then Cnum.zero
     else
       let acc = Cnum.mul acc edge.mw in
       if level < 0 then acc
       else
-        let rbit = (row lsr level) land 1 and cbit = (col lsr level) land 1 in
+        let q = Order.qubit_of_level order level in
+        let rbit = (row lsr q) land 1 and cbit = (col lsr q) land 1 in
         let child =
           match (rbit, cbit) with
           | 0, 0 -> edge.mt.m00
@@ -301,11 +311,11 @@ let entry edge ~n ~row ~col =
   in
   walk edge (n - 1) Cnum.one
 
-let to_dense edge ~n =
+let to_dense ?(order = Order.identity) edge ~n =
   if n > 12 then invalid_arg "Mdd.to_dense: too many qubits";
   let dim = 1 lsl n in
   Array.init dim (fun row ->
-      Array.init dim (fun col -> entry edge ~n ~row ~col))
+      Array.init dim (fun col -> entry ~order edge ~n ~row ~col))
 
 let iter_nodes f edge =
   let seen = Hashtbl.create 256 in
@@ -329,13 +339,14 @@ let equal = m_edge_equal
 
 let of_diagonal ctx ~n f =
   if n > 30 then invalid_arg "Mdd.of_diagonal: too many qubits";
-  let rec build level offset =
-    if level < 0 then terminal_edge ctx (f offset)
+  let order = ctx.Context.order in
+  let rec build level index =
+    if level < 0 then terminal_edge ctx (f index)
     else
-      let half = 1 lsl level in
+      let high = 1 lsl Order.qubit_of_level order level in
       make ctx level
-        (build (level - 1) offset)
+        (build (level - 1) index)
         m_zero m_zero
-        (build (level - 1) (offset + half))
+        (build (level - 1) (index lor high))
   in
   build (n - 1) 0

@@ -31,7 +31,9 @@ val gate :
 (** [gate ctx ~n ~target ~controls entries] builds the DD of an elementary
     operation: [entries] is the row-major 2x2 matrix [|m00; m01; m10; m11|]
     applied to qubit [target], guarded by [controls], identity elsewhere.
-    Raises [Invalid_argument] on out-of-range or duplicated qubits. *)
+    Qubit indices are translated to DD levels through the context's live
+    {!Order.t}, so circuits are untouched by reordering.  Raises
+    [Invalid_argument] on out-of-range or duplicated qubits. *)
 
 val of_permutation : Context.t -> n:int -> (int -> int) -> edge
 (** [of_permutation ctx ~n f] is the unitary [sum_x |f x><x|]; [f] must be a
@@ -61,10 +63,12 @@ val adjoint : Context.t -> edge -> edge
 val kron : Context.t -> edge -> edge -> edge
 (** [kron ctx a b] is [A (x) B] with [A] on the more significant qubits. *)
 
-val to_dense : edge -> n:int -> Cnum.t array array
-(** Expand to a dense matrix; tests only (raises above 12 qubits). *)
+val to_dense : ?order:Order.t -> edge -> n:int -> Cnum.t array array
+(** Expand to a dense matrix indexed by qubit bits; [order] (default
+    identity) must be the order the DD was built under.  Tests only
+    (raises above 12 qubits). *)
 
-val entry : edge -> n:int -> row:int -> col:int -> Cnum.t
+val entry : ?order:Order.t -> edge -> n:int -> row:int -> col:int -> Cnum.t
 
 val node_count : edge -> int
 val iter_nodes : (Types.mnode -> unit) -> edge -> unit

@@ -27,14 +27,16 @@ let probability_one ctx edge ~qubit =
   if qubit < 0 || qubit > edge.vt.level then
     Dd_error.invalid_operand ~operation:"Measure.probability_one"
       (Printf.sprintf "qubit %d out of range" qubit);
+  (* the measured wire is a qubit; find the level hosting it *)
+  let level = Context.level_of_qubit ctx qubit in
   let memo = Hashtbl.create 64 in
-  (* weight of all paths through the |1> branch at [qubit], per node *)
+  (* weight of all paths through the |1> branch at [level], per node *)
   let rec mass node =
     match Hashtbl.find_opt memo node.vid with
     | Some x -> x
     | None ->
       let x =
-        if node.level = qubit then
+        if node.level = level then
           if v_is_zero node.v_high then 0.
           else Cnum.mag2 node.v_high.vw *. node_norm ctx node.v_high.vt
         else
@@ -55,6 +57,7 @@ let collapse ctx edge ~qubit ~outcome =
   if qubit < 0 || qubit > edge.vt.level then
     Dd_error.invalid_operand ~operation:"Measure.collapse"
       (Printf.sprintf "qubit %d out of range" qubit);
+  let level = Context.level_of_qubit ctx qubit in
   let memo = Hashtbl.create 64 in
   let rec project node =
     match Hashtbl.find_opt memo node.vid with
@@ -65,7 +68,7 @@ let collapse ctx edge ~qubit ~outcome =
         else Vdd.scale ctx child.vw (project child.vt)
       in
       let e =
-        if node.level = qubit then
+        if node.level = level then
           if outcome then Vdd.make ctx node.level v_zero node.v_high
           else Vdd.make ctx node.level node.v_low v_zero
         else
@@ -97,11 +100,13 @@ let sample ctx rng edge =
       in
       let p0 = mass node.v_low and p1 = mass node.v_high in
       let pick_high = Random.State.float rng (p0 +. p1) >= p0 in
-      if pick_high then walk node.v_high.vt (acc lor (1 lsl node.level))
+      if pick_high then
+        walk node.v_high.vt
+          (acc lor (1 lsl Context.qubit_of_level ctx node.level))
       else walk node.v_low.vt acc
   in
   walk edge.vt 0
 
-let probabilities edge ~n =
-  let amps = Vdd.to_array edge ~n in
+let probabilities ?order edge ~n =
+  let amps = Vdd.to_array ?order edge ~n in
   Array.map Cnum.mag2 amps

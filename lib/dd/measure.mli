@@ -8,7 +8,10 @@ val norm2 : Context.t -> Vdd.edge -> float
 
 val probability_one : Context.t -> Vdd.edge -> qubit:int -> float
 (** Probability that measuring [qubit] yields [1], normalised by the state's
-    norm. *)
+    norm.  [qubit] is a qubit index, translated to its hosting level
+    through the context's live {!Order.t} (as in {!collapse} and
+    {!measure_qubit}); {!sample} likewise reports indices in qubit
+    space. *)
 
 val collapse : Context.t -> Vdd.edge -> qubit:int -> outcome:bool -> Vdd.edge
 (** Project onto the given outcome and renormalise.  Raises
@@ -24,5 +27,6 @@ val sample : Context.t -> Random.State.t -> Vdd.edge -> int
 (** Sample a full basis-state index from the state's distribution without
     collapsing. *)
 
-val probabilities : Vdd.edge -> n:int -> float array
-(** Dense outcome distribution; tests and small [n] only. *)
+val probabilities : ?order:Order.t -> Vdd.edge -> n:int -> float array
+(** Dense outcome distribution indexed by qubit bits ([order] defaults to
+    identity); tests and small [n] only. *)

@@ -29,11 +29,12 @@ let note_weight acc w =
   in
   Hashtbl.replace acc.buckets exponent (count + 1)
 
-let finish_levels table =
+let finish_levels ~order table =
   Hashtbl.fold
     (fun level acc out ->
       {
         Obs.Dd_profile.level;
+        qubit = Order.qubit_of_level order level;
         nodes = acc.a_nodes;
         edges = acc.a_edges;
         zero_edges = acc.a_zero;
@@ -62,7 +63,7 @@ let build ~gate ~t ~dd ~nodes ~edges ~references ~identity_nodes levels =
     levels;
   }
 
-let vector ?(gate = -1) ?(t = 0.) edge =
+let vector ?(gate = -1) ?(t = 0.) ?(order = Order.identity) edge =
   let table = Hashtbl.create 32 in
   let nodes = ref 0 in
   let edges = ref 0 in
@@ -94,9 +95,9 @@ let vector ?(gate = -1) ?(t = 0.) edge =
   end;
   build ~gate ~t ~dd:"vector" ~nodes:!nodes ~edges:!edges
     ~references:!references ~identity_nodes:!identity_nodes
-    (finish_levels table)
+    (finish_levels ~order table)
 
-let matrix ?(gate = -1) ?(t = 0.) edge =
+let matrix ?(gate = -1) ?(t = 0.) ?(order = Order.identity) edge =
   let table = Hashtbl.create 32 in
   let nodes = ref 0 in
   let edges = ref 0 in
@@ -131,14 +132,14 @@ let matrix ?(gate = -1) ?(t = 0.) edge =
   end;
   build ~gate ~t ~dd:"matrix" ~nodes:!nodes ~edges:!edges
     ~references:!references ~identity_nodes:!identity_nodes
-    (finish_levels table)
+    (finish_levels ~order table)
 
 let pp ppf (s : Obs.Dd_profile.snapshot) =
   Format.fprintf ppf
     "%s DD: %d nodes, %d edges, sharing %.3f, identity fraction %.3f@."
     s.dd s.nodes s.edges s.sharing s.identity_fraction;
-  Format.fprintf ppf "%8s %8s %8s %8s  %s@." "level" "nodes" "edges"
-    "zeroes" "weight |w| log2 histogram";
+  Format.fprintf ppf "%8s %8s %8s %8s %8s  %s@." "level" "qubit" "nodes"
+    "edges" "zeroes" "weight |w| log2 histogram";
   List.iter
     (fun (l : Obs.Dd_profile.level) ->
       let histogram =
@@ -147,6 +148,7 @@ let pp ppf (s : Obs.Dd_profile.snapshot) =
              (fun (e, c) -> Printf.sprintf "2^%d:%d" e c)
              l.weights)
       in
-      Format.fprintf ppf "%8d %8d %8d %8d  %s@." l.level l.nodes l.edges
-        l.zero_edges histogram)
+      Format.fprintf ppf "%8d %8s %8d %8d %8d  %s@." l.level
+        (Printf.sprintf "q%d" l.qubit)
+        l.nodes l.edges l.zero_edges histogram)
     s.levels

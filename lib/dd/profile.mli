@@ -7,13 +7,18 @@
     proportional to the DD size (the quantity being measured), not to
     [2^n]. *)
 
-val vector : ?gate:int -> ?t:float -> Vdd.edge -> Obs.Dd_profile.snapshot
-(** [gate] (default [-1]) and [t] (default [0.]) stamp the snapshot.
+val vector :
+  ?gate:int -> ?t:float -> ?order:Order.t -> Vdd.edge ->
+  Obs.Dd_profile.snapshot
+(** [gate] (default [-1]) and [t] (default [0.]) stamp the snapshot;
+    [order] (default identity) labels each level with the qubit it hosts.
     A node counts toward the identity fraction when its low and high
     edges are equal — the qubit at that level is unentangled and
     unbiased below this node. *)
 
-val matrix : ?gate:int -> ?t:float -> Mdd.edge -> Obs.Dd_profile.snapshot
+val matrix :
+  ?gate:int -> ?t:float -> ?order:Order.t -> Mdd.edge ->
+  Obs.Dd_profile.snapshot
 (** A node counts toward the identity fraction when it acts as the
     identity at its level: equal diagonal quadrants and zero
     off-diagonals. *)

@@ -22,14 +22,21 @@ let terminal_edge ctx w =
   let w = Context.cnum ctx w in
   if Cnum.is_exact_zero w then v_zero else { vw = w; vt = v_terminal }
 
+(* Qubit-facing constructors and readers translate index bits through the
+   level<->qubit order: the bit steering level [l] is bit
+   [qubit_of_level l] of the basis index.  Under the identity order this
+   is the plain [bit l] recursion the module always had. *)
+
 let basis ctx ~n index =
   if index < 0 || (n < 63 && index >= 1 lsl n) then
     invalid_arg "Vdd.basis: index out of range";
+  let order = ctx.Context.order in
   let rec build level edge =
     if level >= n then edge
     else
+      let bit = (index lsr Order.qubit_of_level order level) land 1 in
       let next =
-        if (index lsr level) land 1 = 0 then make ctx level edge v_zero
+        if bit = 0 then make ctx level edge v_zero
         else make ctx level v_zero edge
       in
       build (level + 1) next
@@ -40,44 +47,43 @@ let of_array ctx amplitudes =
   let len = Array.length amplitudes in
   if len = 0 || len land (len - 1) <> 0 then
     invalid_arg "Vdd.of_array: length must be a positive power of two";
-  let rec build level offset =
-    if level < 0 then terminal_edge ctx amplitudes.(offset)
+  let order = ctx.Context.order in
+  let rec build level index =
+    if level < 0 then terminal_edge ctx amplitudes.(index)
     else
-      let half = 1 lsl level in
-      make ctx level (build (level - 1) offset)
-        (build (level - 1) (offset + half))
+      let high = 1 lsl Order.qubit_of_level order level in
+      make ctx level (build (level - 1) index)
+        (build (level - 1) (index lor high))
   in
   let rec log2 k acc = if k = 1 then acc else log2 (k lsr 1) (acc + 1) in
   build (log2 len 0 - 1) 0
 
-let to_array edge ~n =
+let to_array ?(order = Order.identity) edge ~n =
   if n > 24 then invalid_arg "Vdd.to_array: too many qubits";
   let out = Array.make (1 lsl n) Cnum.zero in
-  let rec fill edge weight offset =
+  let rec fill edge weight index =
     if not (v_is_zero edge) then begin
       let weight = Cnum.mul weight edge.vw in
-      if v_is_terminal edge.vt then out.(offset) <- weight
+      if v_is_terminal edge.vt then out.(index) <- weight
       else begin
-        let half = 1 lsl edge.vt.level in
-        fill edge.vt.v_low weight offset;
-        fill edge.vt.v_high weight (offset + half)
+        let high = 1 lsl Order.qubit_of_level order edge.vt.level in
+        fill edge.vt.v_low weight index;
+        fill edge.vt.v_high weight (index lor high)
       end
     end
   in
   fill edge Cnum.one 0;
   out
 
-let amplitude edge ~n index =
+let amplitude ?(order = Order.identity) edge ~n index =
   let rec walk edge level acc =
     if v_is_zero edge then Cnum.zero
     else
       let acc = Cnum.mul acc edge.vw in
       if level < 0 then acc
       else
-        let child =
-          if (index lsr level) land 1 = 0 then edge.vt.v_low
-          else edge.vt.v_high
-        in
+        let bit = (index lsr Order.qubit_of_level order level) land 1 in
+        let child = if bit = 0 then edge.vt.v_low else edge.vt.v_high in
         walk child (level - 1) acc
   in
   walk edge (n - 1) Cnum.one
@@ -192,6 +198,7 @@ let rec node_max_magnitude ctx node =
       x
 
 let top_amplitudes ctx ~n k edge =
+  let order = ctx.Context.order in
   if v_is_zero edge then []
   else begin
     (* best-first search: a frontier of (bound, index-prefix, edge) sorted
@@ -226,7 +233,10 @@ let top_amplitudes ctx ~n k edge =
           if not (v_is_zero child) then begin
             let amp = Cnum.mul amp child.vw in
             let bound = Cnum.mag amp *. node_max_magnitude ctx child.vt in
-            let index = if bit = 0 then index else index lor (1 lsl node.level) in
+            let index =
+              if bit = 0 then index
+              else index lor (1 lsl Order.qubit_of_level order node.level)
+            in
             frontier := Frontier.add (bound, index, amp, child.vt) !frontier
           end
         in

@@ -20,19 +20,23 @@ val scale : Context.t -> Cnum.t -> edge -> edge
 
 val basis : Context.t -> n:int -> int -> edge
 (** [basis ctx ~n i] is the computational basis state [|i>] on [n] qubits
-    (bit [k] of [i] is the value of qubit [k]). *)
+    (bit [k] of [i] is the value of qubit [k]).  Levels are assigned
+    through the context's live {!Order.t}. *)
 
 val of_array : Context.t -> Cnum.t array -> edge
 (** Build a DD from a dense amplitude vector (length must be a power of
-    two).  Index bit [k] corresponds to qubit [k]. *)
+    two).  Index bit [k] corresponds to qubit [k]; the context's live
+    order decides which level hosts each qubit. *)
 
-val to_array : edge -> n:int -> Cnum.t array
-(** Expand to a dense vector; intended for tests and small [n] (raises
-    [Invalid_argument] above 24 qubits). *)
+val to_array : ?order:Order.t -> edge -> n:int -> Cnum.t array
+(** Expand to a dense vector indexed by qubit bits; [order] (default
+    identity) must be the order the DD was built under.  Intended for
+    tests and small [n] (raises [Invalid_argument] above 24 qubits). *)
 
-val amplitude : edge -> n:int -> int -> Cnum.t
+val amplitude : ?order:Order.t -> edge -> n:int -> int -> Cnum.t
 (** Amplitude of basis state [i]: the product of the edge weights along the
-    path selected by the bits of [i] (paper's Example 2). *)
+    path selected by the bits of [i] (paper's Example 2), with each
+    level's steering bit picked through [order] (default identity). *)
 
 val add : Context.t -> edge -> edge -> edge
 (** Pointwise sum, memoised with the top weights factored out (paper's
@@ -56,7 +60,8 @@ val approx_equal_array : ?tol:float -> Cnum.t array -> Cnum.t array -> bool
 (** Component-wise comparison helper for tests. *)
 
 val top_amplitudes : Context.t -> n:int -> int -> edge -> (int * Dd_complex.Cnum.t) list
-(** [top_amplitudes ctx ~n k e] — the [k] basis states with the largest
+(** [top_amplitudes ctx ~n k e] — basis indices are reported in qubit
+    space (mapped through the context's live order); the [k] basis states with the largest
     amplitude magnitudes, best first, found by best-first search over the
     DD with per-node magnitude bounds (no dense expansion, so it works on
     registers far too wide for {!to_array}). *)

@@ -30,7 +30,16 @@ let classify name =
 
 (* -- identity-keyed array pairing ------------------------------------ *)
 
-let identity_keys = [ "name"; "benchmark"; "circuit"; "mode"; "strategy" ]
+let identity_keys =
+  [ "name"; "benchmark"; "circuit"; "mode"; "strategy"; "reorder" ]
+
+(* "reorder" joined the identity after baselines without the field were
+   already committed; a missing key means "off".  The default value is
+   dropped from the identity string, so an explicit reorder:"off"
+   candidate still pairs with a pre-reorder baseline, while any other
+   value forms a distinct run. *)
+let identity_part key value =
+  match key with "reorder" when value = "off" -> None | _ -> Some value
 
 let identity_of = function
   | Json.Obj _ as obj ->
@@ -38,7 +47,7 @@ let identity_of = function
       List.filter_map
         (fun key ->
           match Json.member obj key with
-          | Some (Json.Str s) -> Some s
+          | Some (Json.Str s) -> identity_part key s
           | _ -> None)
         identity_keys
     in

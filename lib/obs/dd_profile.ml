@@ -1,5 +1,6 @@
 type level = {
   level : int;
+  qubit : int;  (* qubit hosted at this level; = level under identity order *)
   nodes : int;
   edges : int;
   zero_edges : int;
@@ -88,8 +89,8 @@ let pairs_json pairs =
 
 let level_to_json l =
   Printf.sprintf
-    "{\"level\":%d,\"nodes\":%d,\"edges\":%d,\"zero_edges\":%d,\"weights\":%s}"
-    l.level l.nodes l.edges l.zero_edges (pairs_json l.weights)
+    "{\"level\":%d,\"qubit\":%d,\"nodes\":%d,\"edges\":%d,\"zero_edges\":%d,\"weights\":%s}"
+    l.level l.qubit l.nodes l.edges l.zero_edges (pairs_json l.weights)
 
 let snapshot_to_json s =
   Printf.sprintf
@@ -123,6 +124,32 @@ let jsonl ?(meta = []) sink =
   let body = Buffer.contents buffer in
   body ^ Safe_io.jsonl_trailer body
 
+(* -- bulge detection -------------------------------------------------- *)
+
+(* A "level bulge" — one level holding disproportionately many nodes — is
+   the structural signature of a bad variable order (entangled qubits
+   forced far apart).  Detected against the median per-level count so a
+   uniformly large DD does not trigger; [min_nodes] keeps tiny DDs from
+   tripping on noise.  Returns the worst bulging level. *)
+let bulge ?(factor = 4.0) ?(min_nodes = 16) counts =
+  let n = Array.length counts in
+  if n = 0 then None
+  else begin
+    let sorted = Array.copy counts in
+    Array.sort compare sorted;
+    let median = float_of_int sorted.(n / 2) in
+    let worst = ref (-1) in
+    Array.iteri
+      (fun level count ->
+        if
+          count >= min_nodes
+          && float_of_int count > factor *. median
+          && (!worst < 0 || count > counts.(!worst))
+        then worst := level)
+      counts;
+    if !worst < 0 then None else Some !worst
+  end
+
 type run = {
   run_version : int;
   run_meta : (string * string) list;
@@ -152,8 +179,12 @@ let parse_pairs = function
   | _ -> failwith "expected an array of pairs"
 
 let parse_level json =
+  let level = int_field json "level" ~default:(-1) in
   {
-    level = int_field json "level" ~default:(-1);
+    level;
+    (* absent in sidecars written before variable reordering existed,
+       which could only mean the identity order *)
+    qubit = int_field json "qubit" ~default:level;
     nodes = int_field json "nodes" ~default:0;
     edges = int_field json "edges" ~default:0;
     zero_edges = int_field json "zero_edges" ~default:0;

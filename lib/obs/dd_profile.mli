@@ -20,6 +20,10 @@
 
 type level = {
   level : int;  (** DD level, counted from the terminal ([0] adjacent) *)
+  qubit : int;
+      (** qubit hosted at this level under the run's variable order;
+          equals [level] under the identity order (and when parsing
+          sidecars written before reordering existed) *)
   nodes : int;  (** distinct nodes at this level *)
   edges : int;  (** non-zero out-edges leaving those nodes *)
   zero_edges : int;  (** zero stubs leaving those nodes *)
@@ -101,6 +105,14 @@ val snapshot_to_json : snapshot -> string
 val jsonl : ?meta:(string * string) list -> sink -> string
 (** Header line carrying [schema]/[version]/[every]/[meta], then one line
     per snapshot. *)
+
+val bulge : ?factor:float -> ?min_nodes:int -> int array -> int option
+(** [bulge counts] — the worst "level bulge" in a per-level node-count
+    array (index = level), if any: a level whose count exceeds [factor]
+    (default [4.0]) times the median count and is at least [min_nodes]
+    (default [16]).  A bulge is the structural signature of a bad
+    variable order; the engine's adaptive reorder policy uses this as its
+    sifting trigger. *)
 
 type run = {
   run_version : int;

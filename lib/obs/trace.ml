@@ -9,6 +9,7 @@ type kind =
   | Checkpoint
   | Measure
   | Audit
+  | Reorder
 
 type event = {
   kind : kind;

@@ -31,6 +31,7 @@ type kind =
   | Checkpoint  (** a resumable checkpoint was written *)
   | Measure  (** a qubit was measured and the state collapsed *)
   | Audit  (** one invariant-auditor pass over the live DDs (span) *)
+  | Reorder  (** one variable-reordering (sifting) pass on the state DD (span) *)
 
 type event = {
   kind : kind;

@@ -12,6 +12,7 @@ let kind_to_string = function
   | Trace.Checkpoint -> "checkpoint"
   | Trace.Measure -> "measure"
   | Trace.Audit -> "audit"
+  | Trace.Reorder -> "reorder"
 
 let kind_of_string = function
   | "gate_applied" -> Some Trace.Gate_applied
@@ -24,6 +25,7 @@ let kind_of_string = function
   | "checkpoint" -> Some Trace.Checkpoint
   | "measure" -> Some Trace.Measure
   | "audit" -> Some Trace.Audit
+  | "reorder" -> Some Trace.Reorder
   | _ -> None
 
 let meta_json meta =
@@ -113,6 +115,7 @@ let all_kinds =
     Trace.Checkpoint;
     Trace.Measure;
     Trace.Audit;
+    Trace.Reorder;
   ]
 
 let summary trace =

@@ -143,6 +143,7 @@ let kind_order = function
   | Trace.Checkpoint -> 7
   | Trace.Measure -> 8
   | Trace.Audit -> 9
+  | Trace.Reorder -> 10
 
 let phases run =
   let acc = Hashtbl.create 16 in

@@ -66,8 +66,8 @@ let test_vector_dot_annotated () =
   check_bool "log2 bucket label" true (contains_sub dot "(2^0)");
   (* nodes are grouped into rank=same rows with a level label *)
   check_bool "rank row" true (contains_sub dot "{ rank=same; level0;");
-  check_bool "level caption" true
-    (contains_sub dot "label=\"level 0\"");
+  check_bool "level caption names the hosted qubit" true
+    (contains_sub dot "label=\"level 0 (qubit 0)\"");
   (* annotation also labels weight-one edges, unlike the plain export *)
   let plain = Dd.Dot.vector_to_dot e in
   check_bool "plain export unchanged: no magnitudes" false

@@ -76,14 +76,16 @@ let test_write_file_atomic () =
 
 (* -- checkpoint format versions ------------------------------------------ *)
 
-(* Rewrite a current (v5) checkpoint as an older on-disk version: patch the
+(* Rewrite a current (v6) checkpoint as an older on-disk version: patch the
    header, truncate the stats line to the fields that version carried, drop
-   the checksum trailer older writers never produced. *)
+   the order line and the checksum trailer older writers never produced. *)
 let downgrade text ~version ~stats_fields =
   let body, _ = Obs.Safe_io.split_text_trailer text in
   String.split_on_char '\n' body
+  |> List.filter (fun line ->
+         not (String.length line > 6 && String.sub line 0 6 = "order "))
   |> List.map (fun line ->
-         if line = "ddsim-checkpoint 5" then
+         if line = "ddsim-checkpoint 6" then
            Printf.sprintf "ddsim-checkpoint %d" version
          else if
            String.length line > 6 && String.sub line 0 6 = "stats "

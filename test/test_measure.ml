@@ -110,6 +110,53 @@ let test_probabilities () =
   check_float "p0" 0.36 p.(0);
   check_float "p3" 0.64 p.(3)
 
+(* -- measurement under a non-identity variable order -------------------
+   Measurement addresses qubits; the order layer must make the level
+   translation invisible.  0.6|001> + 0.8|100> is asymmetric enough that
+   any level/qubit mix-up changes every marginal. *)
+
+let reordered_state ctx =
+  let e = superposition ctx [| 0.; 0.6; 0.; 0.; 0.8; 0.; 0.; 0. |] in
+  let e, _ =
+    Dd.Reorder.apply_order ctx e (Dd.Order.of_qubit_of_level [| 2; 1; 0 |])
+  in
+  e
+
+let test_probability_one_under_order () =
+  let ctx = fresh_ctx () in
+  let e = reordered_state ctx in
+  check_float "qubit 0 marginal survives reordering" 0.36
+    (Dd.Measure.probability_one ctx e ~qubit:0);
+  check_float "qubit 1 marginal survives reordering" 0.
+    (Dd.Measure.probability_one ctx e ~qubit:1);
+  check_float "qubit 2 marginal survives reordering" 0.64
+    (Dd.Measure.probability_one ctx e ~qubit:2)
+
+let test_collapse_under_order () =
+  let ctx = fresh_ctx () in
+  let e = reordered_state ctx in
+  let collapsed = Dd.Measure.collapse ctx e ~qubit:0 ~outcome:true in
+  check_float "norm after collapse" 1. (Dd.Measure.norm2 ctx collapsed);
+  check_cnum "collapse lands on |001>" Cnum.one
+    (Dd.Vdd.amplitude ~order:(Dd.Context.order ctx) collapsed ~n:3 1)
+
+let test_sample_under_order () =
+  let ctx = fresh_ctx () in
+  let rng = Random.State.make [| 11 |] in
+  let e = reordered_state ctx in
+  for _ = 1 to 200 do
+    let idx = Dd.Measure.sample ctx rng e in
+    check_bool "samples are qubit-space indices" true (idx = 1 || idx = 4)
+  done
+
+let test_probabilities_under_order () =
+  let ctx = fresh_ctx () in
+  let e = reordered_state ctx in
+  let p = Dd.Measure.probabilities ~order:(Dd.Context.order ctx) e ~n:3 in
+  check_float "p(|001>)" 0.36 p.(1);
+  check_float "p(|100>)" 0.64 p.(4);
+  check_float "p(|000>)" 0. p.(0)
+
 let suite =
   [
     Alcotest.test_case "norm_basis" `Quick test_norm_basis;
@@ -128,4 +175,12 @@ let suite =
     Alcotest.test_case "sample_respects_weights" `Quick
       test_sample_respects_weights;
     Alcotest.test_case "probabilities" `Quick test_probabilities;
+    Alcotest.test_case "probability_one under non-identity order" `Quick
+      test_probability_one_under_order;
+    Alcotest.test_case "collapse under non-identity order" `Quick
+      test_collapse_under_order;
+    Alcotest.test_case "sample under non-identity order" `Quick
+      test_sample_under_order;
+    Alcotest.test_case "probabilities under non-identity order" `Quick
+      test_probabilities_under_order;
   ]

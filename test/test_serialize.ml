@@ -58,6 +58,30 @@ let test_matrix_roundtrip_oracle () =
         row)
     expected
 
+let test_vector_roundtrip_under_order () =
+  (* serialization is purely structural (level-indexed); a state built
+     under a non-identity order must reload bit-identically, and its
+     qubit-space amplitudes are recovered by pairing the reloaded
+     structure with the same order *)
+  let ctx1 = fresh_ctx () and ctx2 = fresh_ctx () in
+  let circuit = Standard.random_circuit ~seed:21 ~qubits:5 ~gates:30 () in
+  let engine = Dd_sim.Engine.create ~context:ctx1 5 in
+  Dd_sim.Engine.run engine circuit;
+  let qubit_space = Dd.Vdd.to_array (Dd_sim.Engine.state engine) ~n:5 in
+  let order = Dd.Order.of_qubit_of_level [| 4; 2; 0; 3; 1 |] in
+  let original, _ =
+    Dd.Reorder.apply_order ctx1 (Dd_sim.Engine.state engine) order
+  in
+  let text = Dd.Serialize.vector_to_string original in
+  let same_ctx = Dd.Serialize.vector_of_string ctx1 text in
+  check_bool "round trip is canonical under a non-identity order" true
+    (Dd.Vdd.equal original same_ctx);
+  let reloaded = Dd.Serialize.vector_of_string ctx2 text in
+  check_cnum_array
+    "reloaded structure + the same order = the original qubit amplitudes"
+    qubit_space
+    (Dd.Vdd.to_array ~order reloaded ~n:5)
+
 let test_malformed_rejected () =
   let ctx = fresh_ctx () in
   check_bool "garbage rejected" true
@@ -90,6 +114,8 @@ let suite =
       test_vector_zero_stubs_preserved;
     Alcotest.test_case "matrix_roundtrip" `Quick test_matrix_roundtrip;
     Alcotest.test_case "matrix_oracle" `Quick test_matrix_roundtrip_oracle;
+    Alcotest.test_case "vector_roundtrip_under_order" `Quick
+      test_vector_roundtrip_under_order;
     Alcotest.test_case "malformed_rejected" `Quick test_malformed_rejected;
     Alcotest.test_case "file_helpers" `Quick test_file_helpers;
   ]
