@@ -7,7 +7,7 @@
      Table I  - grover benchmarks: sota / general / DD-repeating
      Table II - shor benchmarks: sota / general / DD-construct
 
-   Usage: dune exec bench/main.exe [-- fig5|fig8|fig9|table1|table2|ablation|backends|guard|kernel|kernel-smoke|apply|apply-smoke|reorder|reorder-smoke|bechamel]*
+   Usage: dune exec bench/main.exe [-- fig5|fig8|fig9|table1|table2|ablation|backends|guard|kernel|kernel-smoke|apply|apply-smoke|reorder|reorder-smoke|parallel|parallel-smoke|bechamel]*
                                    [-- --paper]
 
    [kernel] runs the shipped benchmarks/ circuits with a low GC
@@ -740,6 +740,7 @@ let apply_run_json ~circuit_name ~mode ~strategy ~fused circuit =
      \      \"mat_vec_mults\": %d,\n\
      \      \"fast_path_applies\": %d,\n\
      \      \"generic_applies\": %d,\n\
+     \      \"apply_ident_skips\": %d,\n\
      \      \"mul_mv_lookups\": %d,\n\
      \      \"apply_lookups\": %d,\n\
      \      \"apply_hits\": %d,\n\
@@ -752,7 +753,8 @@ let apply_run_json ~circuit_name ~mode ~strategy ~fused circuit =
     (Dd_sim.Engine.state_node_count engine)
     stats.Dd_sim.Sim_stats.mat_vec_mults
     stats.Dd_sim.Sim_stats.fast_path_applies
-    stats.Dd_sim.Sim_stats.generic_applies mul_mv.Dd.Compute_table.lookups
+    stats.Dd_sim.Sim_stats.generic_applies
+    (Dd.Context.apply_skips ctx) mul_mv.Dd.Compute_table.lookups
     apply.Dd.Compute_table.lookups apply.Dd.Compute_table.hits apply_hit_rate
     apply.Dd.Compute_table.evictions
 
@@ -1097,6 +1099,106 @@ let reorder_bench ~smoke () =
   Printf.printf "  wrote %s (%d runs)\n" out (List.length runs)
 
 (* ------------------------------------------------------------------ *)
+(* Domain-parallel kernel: BENCH_parallel.json                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Each circuit runs under a k-operations strategy at several domain-pool
+   sizes; domains:1 is the sequential kernel every other bench measures
+   and is the speedup baseline.  The "domains" field joins the bench-check
+   identity (value "1" is dropped so older baselines still pair).  The
+   acceptance bar for the parallel kernel is >= 1.5x wall-clock on
+   qft_14 / k:4 at 4 domains. *)
+
+let parallel_run_json ~circuit_name ~k ~domains circuit =
+  let one () =
+    let engine = Dd_sim.Engine.create Circuit.(circuit.qubits) in
+    Dd_sim.Engine.set_domains engine domains;
+    let (), seconds =
+      wall (fun () ->
+          Dd_sim.Engine.run
+            ~strategy:(Dd_sim.Strategy.K_operations k)
+            engine circuit)
+    in
+    (engine, seconds)
+  in
+  let _, t1 = one () in
+  let _, t2 = one () in
+  let engine, t3 = one () in
+  let seconds = min t1 (min t2 t3) in
+  let stats = Dd_sim.Engine.stats engine in
+  ( seconds,
+    Printf.sprintf
+      "    {\n\
+       \      \"circuit\": %S,\n\
+       \      \"strategy\": %S,\n\
+       \      \"domains\": \"%d\",\n\
+       \      \"wall_seconds\": %.6f,\n\
+       \      \"final_state_nodes\": %d,\n\
+       \      \"mat_mat_mults\": %d,\n\
+       \      \"combined_applications\": %d\n\
+       \    }"
+      circuit_name
+      (Dd_sim.Strategy.to_string (Dd_sim.Strategy.K_operations k))
+      domains seconds
+      (Dd_sim.Engine.state_node_count engine)
+      stats.Dd_sim.Sim_stats.mat_mat_mults
+      stats.Dd_sim.Sim_stats.combined_applications )
+
+let parallel_bench ~smoke () =
+  let out =
+    if smoke then "BENCH_parallel_smoke.json" else "BENCH_parallel.json"
+  in
+  Printf.printf "\n=== Domain-parallel kernel (%s) ===\n" out;
+  let circuits =
+    if smoke then
+      [ ("qft_8", Qft.circuit 8); ("grover_8", Grover.circuit ~n:8 ~marked:5 ()) ]
+    else
+      [
+        ("qft_14", Qft.circuit 14);
+        ("grover_16", Grover.circuit ~n:16 ~marked:12345 ());
+        ("supremacy_4x4_8", Supremacy.circuit ~rows:4 ~cols:4 ~cycles:8 ());
+      ]
+  in
+  let ks = if smoke then [ 4 ] else [ 2; 4 ] in
+  let domain_counts = if smoke then [ 1; 4 ] else [ 1; 2; 4 ] in
+  let runs =
+    List.concat_map
+      (fun (circuit_name, circuit) ->
+        List.concat_map
+          (fun k ->
+            let baseline = ref None in
+            List.map
+              (fun domains ->
+                Printf.printf "  %s / k:%d / %d domain%s" circuit_name k
+                  domains
+                  (if domains = 1 then "" else "s");
+                flush stdout;
+                let seconds, json =
+                  parallel_run_json ~circuit_name ~k ~domains circuit
+                in
+                (match !baseline with
+                | None ->
+                  baseline := Some seconds;
+                  Printf.printf "  (%.3f s)\n" seconds
+                | Some base ->
+                  Printf.printf "  (%.3f s, %.2fx)\n" seconds (base /. seconds));
+                flush stdout;
+                json)
+              domain_counts)
+          ks)
+      circuits
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+       \  \"schema\": \"ddsim-parallel-bench-1\",\n\
+       \  \"runs\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" runs)
+  in
+  Obs.Safe_io.write_file out json;
+  Printf.printf "  wrote %s (%d runs)\n" out (List.length runs)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1143,6 +1245,11 @@ let () =
     Printf.printf "[reorder-smoke completed in %.1f s]\n" seconds
   end
   else timed "reorder" (fun () -> reorder_bench ~smoke:false ());
+  if List.mem "parallel-smoke" selected then begin
+    let (), seconds = wall (fun () -> parallel_bench ~smoke:true ()) in
+    Printf.printf "[parallel-smoke completed in %.1f s]\n" seconds
+  end
+  else timed "parallel" (fun () -> parallel_bench ~smoke:false ());
   timed "trace" (fun () -> trace_bench ());
   timed "bechamel" (fun () -> bechamel_suite ());
   Printf.printf "\ndone.\n"

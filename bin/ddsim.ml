@@ -151,6 +151,18 @@ let no_fused_apply_arg =
   in
   Arg.(value & flag & info [ "no-fused-apply" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Domain-pool size for the parallel kernel: k-operations window \
+     products are tree-reduced over $(docv) domains and --samples shots \
+     are drawn in parallel.  At 1 (the default) the engine takes the \
+     sequential code paths and results are bitwise identical to the \
+     pre-parallel kernel; above 1, final states agree within the \
+     interning tolerance and sampling outcomes are exactly reproduced \
+     whatever the pool size."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 (* resource budgets and checkpointing, shared by run / simulate *)
 
 let max_nodes_arg =
@@ -439,9 +451,13 @@ let finish engine samples stats seconds =
   print_top_amplitudes engine;
   if samples > 0 then begin
     Printf.printf "samples:";
-    for _ = 1 to samples do
-      Printf.printf " %d" (Dd_sim.Engine.sample engine)
-    done;
+    if Dd_sim.Engine.domains engine > 1 then
+      Array.iter (Printf.printf " %d")
+        (Dd_sim.Engine.sample_shots engine samples)
+    else
+      for _ = 1 to samples do
+        Printf.printf " %d" (Dd_sim.Engine.sample engine)
+      done;
     print_newline ()
   end;
   if stats then begin
@@ -474,7 +490,7 @@ let construct_arg =
 
 let run_cmd =
   let action algo qubits marked modulus base rows cols cycles gates seed
-      strategy repeating construct samples stats no_fused max_nodes
+      strategy repeating construct samples stats no_fused domains max_nodes
       max_matrix deadline norm_tol auto_gc checkpoint checkpoint_every
       resume trace trace_format metrics profile profile_every stats_json
       audit_every audit_tol reorder order bulge_factor reorder_every =
@@ -487,6 +503,7 @@ let run_cmd =
       Format.printf "%a@." Circuit.pp circuit;
       let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
       if no_fused then Dd_sim.Engine.set_fused_apply engine false;
+      Dd_sim.Engine.set_domains engine domains;
       arm_audit engine ~tolerance:audit_tol audit_every;
       arm_reorder engine ~policy:reorder ~order ~bulge_factor
         ~every:reorder_every;
@@ -505,6 +522,7 @@ let run_cmd =
           ("qubits", string_of_int Circuit.(circuit.qubits));
           ("strategy", Dd_sim.Strategy.to_string strategy);
           ("reorder", reorder_to_string reorder);
+          ("domains", string_of_int domains);
         ]
       in
       export_trace ~format:trace_format ~meta traced;
@@ -518,7 +536,8 @@ let run_cmd =
       const action $ algo_arg $ qubits_arg $ marked_arg $ modulus_arg
       $ base_arg $ rows_arg $ cols_arg $ cycles_arg $ gates_arg $ seed_arg
       $ strategy_arg $ repeating_arg $ construct_arg $ samples_arg
-      $ stats_arg $ no_fused_apply_arg $ max_nodes_arg $ max_matrix_arg
+      $ stats_arg $ no_fused_apply_arg $ domains_arg $ max_nodes_arg
+      $ max_matrix_arg
       $ deadline_arg $ norm_tol_arg $ auto_gc_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ trace_arg $ trace_format_arg
       $ metrics_arg $ profile_arg $ profile_every_arg $ stats_json_arg
@@ -544,10 +563,11 @@ let detect_repeats_arg =
            DD-repeating treatment to them.")
 
 let simulate_cmd =
-  let action file strategy seed samples stats no_fused detect max_nodes
-      max_matrix deadline norm_tol auto_gc checkpoint checkpoint_every
-      resume trace trace_format metrics profile profile_every stats_json
-      audit_every audit_tol reorder order bulge_factor reorder_every =
+  let action file strategy seed samples stats no_fused domains detect
+      max_nodes max_matrix deadline norm_tol auto_gc checkpoint
+      checkpoint_every resume trace trace_format metrics profile
+      profile_every stats_json audit_every audit_tol reorder order
+      bulge_factor reorder_every =
     with_structured_errors @@ fun () ->
     let source =
       let ic = open_in file in
@@ -561,6 +581,7 @@ let simulate_cmd =
     Format.printf "%a@." Circuit.pp circuit;
     let engine = Dd_sim.Engine.create ~seed Circuit.(circuit.qubits) in
     if no_fused then Dd_sim.Engine.set_fused_apply engine false;
+    Dd_sim.Engine.set_domains engine domains;
     arm_audit engine ~tolerance:audit_tol audit_every;
     arm_reorder engine ~policy:reorder ~order ~bulge_factor
       ~every:reorder_every;
@@ -579,6 +600,7 @@ let simulate_cmd =
         ("qubits", string_of_int Circuit.(circuit.qubits));
         ("strategy", Dd_sim.Strategy.to_string strategy);
         ("reorder", reorder_to_string reorder);
+        ("domains", string_of_int domains);
       ]
     in
     export_trace ~format:trace_format ~meta traced;
@@ -589,8 +611,9 @@ let simulate_cmd =
   let term =
     Term.(
       const action $ qasm_file_arg $ strategy_arg $ seed_arg $ samples_arg
-      $ stats_arg $ no_fused_apply_arg $ detect_repeats_arg $ max_nodes_arg
-      $ max_matrix_arg $ deadline_arg $ norm_tol_arg $ auto_gc_arg
+      $ stats_arg $ no_fused_apply_arg $ domains_arg $ detect_repeats_arg
+      $ max_nodes_arg $ max_matrix_arg $ deadline_arg $ norm_tol_arg
+      $ auto_gc_arg
       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ trace_arg
       $ trace_format_arg $ metrics_arg $ profile_arg $ profile_every_arg
       $ stats_json_arg $ audit_every_arg $ audit_tol_arg $ reorder_arg

@@ -2,6 +2,14 @@ type t = {
   tolerance : float;
   buckets : (int * int, Cnum.t list) Hashtbl.t;
   mutable next_tag : int;
+  (* Taken around the slow path of [intern] when [parallel] is set, so
+     worker domains can funnel weights through one shared table.  A single
+     mutex (not a stripe array): the neighbour-bucket scan of
+     [find_existing] crosses bucket boundaries, so striping could not
+     keep a lookup and a racing insert apart.  The common case — an
+     already-tagged weight — never reaches the lock. *)
+  lock : Mutex.t;
+  mutable parallel : bool;
 }
 
 let zero_tag = 0
@@ -16,12 +24,21 @@ let add_entry table key z =
   Hashtbl.replace table.buckets key (z :: entries)
 
 let create ?(tolerance = 1e-12) () =
-  let table = { tolerance; buckets = Hashtbl.create 4096; next_tag = 2 } in
+  let table =
+    {
+      tolerance;
+      buckets = Hashtbl.create 4096;
+      next_tag = 2;
+      lock = Mutex.create ();
+      parallel = false;
+    }
+  in
   add_entry table (bucket_key table Cnum.zero) Cnum.zero;
   add_entry table (bucket_key table Cnum.one) Cnum.one;
   table
 
 let tolerance table = table.tolerance
+let set_parallel table flag = table.parallel <- flag
 
 (* A value within [tolerance] of the query may live in a bucket adjacent to
    the query's own bucket, so all nine neighbours are scanned. *)
@@ -47,16 +64,28 @@ let find_existing table z =
     [ (0, 0); (-1, 0); (1, 0); (0, -1); (0, 1);
       (-1, -1); (-1, 1); (1, -1); (1, 1) ]
 
+let intern_locked table z =
+  match find_existing table z with
+  | Some canonical -> canonical
+  | None ->
+    let tag = table.next_tag in
+    table.next_tag <- tag + 1;
+    let canonical = Cnum.with_tag z tag in
+    add_entry table (bucket_key table canonical) canonical;
+    canonical
+
 let intern table z =
   if Cnum.tag z >= 0 then z
-  else
-    match find_existing table z with
-    | Some canonical -> canonical
-    | None ->
-      let tag = table.next_tag in
-      table.next_tag <- tag + 1;
-      let canonical = Cnum.with_tag z tag in
-      add_entry table (bucket_key table canonical) canonical;
+  else if table.parallel then begin
+    Mutex.lock table.lock;
+    match intern_locked table z with
+    | canonical ->
+      Mutex.unlock table.lock;
       canonical
+    | exception e ->
+      Mutex.unlock table.lock;
+      raise e
+  end
+  else intern_locked table z
 
 let size table = table.next_tag

@@ -24,6 +24,13 @@ val one_tag : int
 
 val tolerance : t -> float
 
+val set_parallel : t -> bool -> unit
+(** Enable (or disable) cross-domain sharing: when set, the slow path of
+    {!intern} — tag assignment for a weight the table has not seen — runs
+    under a mutex so concurrent domains cannot assign duplicate tags.
+    The fast path (an already-tagged weight) is lock-free either way.
+    Toggle only while no other domain is using the table. *)
+
 val intern : t -> Cnum.t -> Cnum.t
 (** [intern table z] returns the canonical representative of [z]: an existing
     entry within [tolerance] component-wise, or [z] itself freshly tagged.

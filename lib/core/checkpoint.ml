@@ -13,11 +13,13 @@ let format_magic = "ddsim-checkpoint"
    level<->qubit variable order, [Dd.Order.to_string] syntax) between
    the strategy and rng lines, and the stats line gained the four
    reordering counters (reorders_run, reorder_swaps,
-   reorder_nodes_before, reorder_nodes_after).
-   Readers accept 2 through 6: fields a version did not carry restore
-   as zero (and the order as identity), and the trailer is verified
-   when present (required from version 5 on). *)
-let format_version = 6
+   reorder_nodes_before, reorder_nodes_after);
+   version 7: the stats line gained domains (the [--domains] pool size,
+   so a resumed run keeps its parallelism).
+   Readers accept 2 through 7: fields a version did not carry restore
+   as zero (domains as 1, the order as identity), and the trailer is
+   verified when present (required from version 5 on). *)
+let format_version = 7
 
 let oldest_readable_version = 2
 
@@ -76,7 +78,7 @@ let to_string checkpoint =
           (hex_encode (Marshal.to_string checkpoint.rng []));
         Printf.sprintf
           "stats %d %d %d %d %d %d %d %d %d %d %d %d %d %h %d %h %d %d %d %d \
-           %d %d %d"
+           %d %d %d %d"
           stats.Sim_stats.mat_vec_mults stats.Sim_stats.mat_mat_mults
           stats.Sim_stats.gates_seen stats.Sim_stats.combined_applications
           stats.Sim_stats.peak_state_nodes stats.Sim_stats.peak_matrix_nodes
@@ -89,7 +91,7 @@ let to_string checkpoint =
           stats.Sim_stats.audit_violations stats.Sim_stats.audit_repairs
           stats.Sim_stats.reorders_run stats.Sim_stats.reorder_swaps
           stats.Sim_stats.reorder_nodes_before
-          stats.Sim_stats.reorder_nodes_after;
+          stats.Sim_stats.reorder_nodes_after stats.Sim_stats.domains;
         "state";
         Dd.Serialize.vector_to_string checkpoint.state;
       ]
@@ -236,11 +238,29 @@ let of_string context ?(source = "<string>") text =
       stats_record.Sim_stats.reorder_swaps <- stats_int rs;
       stats_record.Sim_stats.reorder_nodes_before <- stats_int rb;
       stats_record.Sim_stats.reorder_nodes_after <- stats_int ra
+      (* v6 predates the domains field; Sim_stats.create defaults it to 1 *)
+    | ( 7,
+        [ mv; mm; gs; ca; ps; pm; fb; gc; rn; cw; fp; ga; gr; gp; td; wt;
+          au; av; ar; rr; rs; rb; ra; dm ] ) ->
+      common mv mm gs ca ps pm fb gc rn cw fp ga gr gp;
+      stats_record.Sim_stats.trace_events_dropped <- stats_int td;
+      stats_record.Sim_stats.wall_time_seconds <- stats_float wt;
+      stats_record.Sim_stats.audits_run <- stats_int au;
+      stats_record.Sim_stats.audit_violations <- stats_int av;
+      stats_record.Sim_stats.audit_repairs <- stats_int ar;
+      stats_record.Sim_stats.reorders_run <- stats_int rr;
+      stats_record.Sim_stats.reorder_swaps <- stats_int rs;
+      stats_record.Sim_stats.reorder_nodes_before <- stats_int rb;
+      stats_record.Sim_stats.reorder_nodes_after <- stats_int ra;
+      stats_record.Sim_stats.domains <- stats_int dm;
+      if stats_record.Sim_stats.domains < 1 then
+        invalid ~source "domains must be >= 1"
     | 2, _ -> invalid ~source "stats line must carry exactly 12 fields"
     | 3, _ -> invalid ~source "stats line must carry exactly 14 fields"
     | 4, _ -> invalid ~source "stats line must carry exactly 16 fields"
     | 5, _ -> invalid ~source "stats line must carry exactly 19 fields"
-    | _, _ -> invalid ~source "stats line must carry exactly 23 fields");
+    | 6, _ -> invalid ~source "stats line must carry exactly 23 fields"
+    | _, _ -> invalid ~source "stats line must carry exactly 24 fields");
     if marker <> "state" then
       invalid ~source (Printf.sprintf "expected \"state\" marker, got %S" marker);
     let state =

@@ -1,0 +1,132 @@
+(* A small work-crew of OCaml 5 domains for the engine's parallel
+   sections (window-product tree reduction, multi-shot sampling).
+
+   Deliberately minimal — stdlib Domain/Atomic/Mutex/Condition only, no
+   work stealing, no futures: the engine's parallel sections are scoped
+   scatter/gather batches, so one shared batch drained through an atomic
+   cursor is enough.  [run_all] is synchronous: the calling domain
+   publishes the batch, participates in draining it, and returns only
+   after every task has finished.  That synchrony is what makes the rest
+   of the simulator simple — GC, auditing, reordering and checkpointing
+   all run between batches, when the pool is provably quiescent, so they
+   need no rendezvous protocol of their own.
+
+   Tasks must not leak exceptions (a lost decrement would deadlock the
+   batch): [run_all] captures each task's outcome as a [result], and the
+   drain loop has a belt-and-braces swallow around the task call. *)
+
+type batch = {
+  tasks : (unit -> unit) array;
+  next : int Atomic.t;  (* scatter cursor: next task index to claim *)
+  left : int Atomic.t;  (* tasks not yet completed *)
+}
+
+type t = {
+  mutable workers : unit Domain.t array;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable current : batch option;
+  (* bumped per batch so a worker that drained the cursor dry does not
+     spin re-grabbing the same still-completing batch *)
+  mutable generation : int;
+  mutable stopping : bool;
+}
+
+let drain pool batch =
+  let n = Array.length batch.tasks in
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add batch.next 1 in
+    if i >= n then continue := false
+    else begin
+      (try batch.tasks.(i) () with _ -> ());
+      if Atomic.fetch_and_add batch.left (-1) = 1 then begin
+        (* last task of the batch: retire it and wake the gatherer *)
+        Mutex.lock pool.lock;
+        pool.current <- None;
+        Condition.broadcast pool.work_done;
+        Mutex.unlock pool.lock
+      end
+    end
+  done
+
+let worker_loop pool =
+  let served = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.lock;
+    while
+      (not pool.stopping)
+      && (pool.current = None || pool.generation = !served)
+    do
+      Condition.wait pool.work_ready pool.lock
+    done;
+    if pool.stopping then begin
+      Mutex.unlock pool.lock;
+      running := false
+    end
+    else begin
+      let batch = Option.get pool.current in
+      served := pool.generation;
+      Mutex.unlock pool.lock;
+      drain pool batch
+    end
+  done
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains must be >= 1";
+  let pool =
+    {
+      workers = [||];
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      current = None;
+      generation = 0;
+      stopping = false;
+    }
+  in
+  pool.workers <-
+    Array.init (domains - 1) (fun _ ->
+        Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = Array.length pool.workers + 1
+
+let run_all pool thunks =
+  let n = Array.length thunks in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n (Error Exit) in
+    let tasks =
+      Array.mapi
+        (fun i thunk () ->
+          results.(i) <- (try Ok (thunk ()) with e -> Error e))
+        thunks
+    in
+    let batch = { tasks; next = Atomic.make 0; left = Atomic.make n } in
+    Mutex.lock pool.lock;
+    assert (pool.current = None);
+    pool.current <- Some batch;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.lock;
+    (* the caller is a crew member too — with zero workers this is just a
+       sequential loop over the batch *)
+    drain pool batch;
+    Mutex.lock pool.lock;
+    while pool.current <> None do
+      Condition.wait pool.work_done pool.lock
+    done;
+    Mutex.unlock pool.lock;
+    results
+  end
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.stopping <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.lock;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]

@@ -1,0 +1,33 @@
+(** A scoped work-crew of OCaml 5 domains for the engine's parallel
+    sections (window-product tree reduction, multi-shot sampling).
+    Stdlib [Domain]/[Atomic]/[Mutex]/[Condition] only.
+
+    The pool runs synchronous scatter/gather batches: {!run_all} returns
+    only after every task has finished, so between calls the pool is
+    quiescent and the engine can garbage-collect, audit, reorder and
+    checkpoint without any further synchronisation. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn a pool of [domains - 1] worker domains (the calling domain is
+    the remaining crew member, so [domains = 1] spawns nothing and
+    {!run_all} degenerates to a sequential loop).  Raises
+    [Invalid_argument] if [domains < 1].  Callers should {!shutdown} the
+    pool when done — leaked domains outlive the simulation. *)
+
+val size : t -> int
+(** Crew size including the caller: the [domains] it was created with
+    (until {!shutdown}, after which it is 1). *)
+
+val run_all : t -> (unit -> 'a) array -> ('a, exn) result array
+(** Evaluate every thunk, fanned over the crew (the caller participates),
+    and return their outcomes in order.  An exception raised by a thunk
+    is captured as [Error] in its slot, never propagated raw and never
+    able to kill a worker domain.  Not reentrant: tasks must not call
+    {!run_all} on the same pool, and only one domain may act as the
+    caller at a time. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker domain.  Idempotent.  Must not be called
+    while a {!run_all} batch is in flight. *)

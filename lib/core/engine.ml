@@ -29,6 +29,10 @@ type t = {
      and one branch per applied gate *)
   mutable reorder_policy : reorder_policy;
   mutable bulge_factor : float;
+  (* domain-pool size for parallel window products and multi-shot
+     sampling; 1 (the default) keeps every legacy sequential code path —
+     no pool, no locks, bitwise-identical results *)
+  mutable domains : int;
   (* minimum applied-gate gap between bulge probes (each probe walks the
      state DD to count nodes per level, so it must not run every gate) *)
   mutable reorder_every : int;
@@ -60,6 +64,7 @@ let create ?(seed = 0xDD) ?context n =
     last_audit = 0;
     reorder_policy = Reorder_off;
     bulge_factor = 4.0;
+    domains = 1;
     reorder_every = 64;
     last_reorder = 0;
     reorder_done = false;
@@ -94,6 +99,15 @@ let reset engine =
 let set_track_peaks engine flag = engine.track_peaks <- flag
 let set_fused_apply engine flag = engine.fused_apply <- flag
 let fused_apply engine = engine.fused_apply
+
+let set_domains engine d =
+  if d < 1 then
+    Error.invalid_parameter ~what:"Engine.set_domains"
+      (Printf.sprintf "need at least one domain (got %d)" d);
+  engine.domains <- d;
+  engine.stats.domains <- d
+
+let domains engine = engine.domains
 
 let set_trace engine trace =
   engine.trace <- trace;
@@ -263,9 +277,12 @@ let set_order engine order =
   engine.reorder_done <- true;
   swaps
 
-(* Bulge probe + sift, at the [reorder_every] cadence.  The probe itself
-   walks the state DD (O(size)), so [last_reorder] advances on every
-   probe — triggered or not — to keep the amortised cost bounded. *)
+(* Bulge probe + sift, at the [reorder_every] cadence.  The probe reads
+   the unique table's incrementally maintained per-level resident counts
+   (O(levels), no DD walk) — between GCs these cover every resident
+   vector node, a superset of the state's reachable set, which is the
+   right quantity to bound: a bulge in residency is memory pressure
+   whether or not every node is still reachable. *)
 let maybe_reorder engine ~gate =
   match engine.reorder_policy with
   | Reorder_off -> ()
@@ -273,7 +290,9 @@ let maybe_reorder engine ~gate =
   | Reorder_once | Reorder_adaptive ->
     if gate - engine.last_reorder >= engine.reorder_every then begin
       engine.last_reorder <- gate;
-      let counts = Dd.Reorder.per_level_nodes engine.state_edge in
+      let counts =
+        Dd.Context.per_level_v_nodes engine.context ~levels:engine.n
+      in
       match
         Obs.Dd_profile.bulge ~factor:engine.bulge_factor counts
       with
@@ -413,6 +432,66 @@ let combine engine gates =
       (fun product gate -> multiply_onto engine (gate_dd engine gate) product)
       (gate_dd engine first) rest
 
+(* Tree-reduce a window of gate DDs (newest first: [m_p; ...; m_1]) into
+   the product m_p x ... x m_1 across the pool.  Each round pairs
+   consecutive matrices — association changes, operand order (and hence
+   the product) does not.  The final two-element round goes through
+   [Mdd.mul_par], which additionally scatters its eight top-level inner
+   products, so the reduction's last — largest — multiplication is not a
+   single-domain bottleneck.  The shared tables are armed for concurrent
+   interning for the duration; stats stay main-domain-only (workers run
+   pure [Mdd.mul]).  A task that raises surfaces as a structured
+   {!Error.Worker_failure}; worker domains themselves never die. *)
+let reduce_window engine pool mats =
+  let ctx = engine.context in
+  let value = function
+    | Ok v -> v
+    | Error e ->
+      Error.raise_error
+        (Error.Worker_failure
+           { task = "window product"; message = Printexc.to_string e })
+  in
+  let par thunks = Array.map value (Domain_pool.run_all pool thunks) in
+  Dd.Context.set_parallel ctx true;
+  Fun.protect
+    ~finally:(fun () -> Dd.Context.set_parallel ctx false)
+    (fun () ->
+      let rec reduce mats =
+        match mats with
+        | [] -> Dd.Mdd.identity ctx engine.n
+        | [ m ] -> m
+        | [ a; b ] ->
+          engine.stats.mat_mat_mults <- engine.stats.mat_mat_mults + 1;
+          Dd.Mdd.mul_par ctx ~par a b
+        | mats ->
+          let arr = Array.of_list mats in
+          let n = Array.length arr in
+          let pairs = n / 2 in
+          let tasks =
+            Array.init pairs (fun i () ->
+                Dd.Mdd.mul ctx arr.(2 * i) arr.((2 * i) + 1))
+          in
+          let products = Array.map value (Domain_pool.run_all pool tasks) in
+          engine.stats.mat_mat_mults <- engine.stats.mat_mat_mults + pairs;
+          let tail = if n land 1 = 1 then [ arr.(n - 1) ] else [] in
+          reduce (Array.to_list products @ tail)
+      in
+      reduce mats)
+
+(* Parallel composition of pre-built operation DDs, in application order
+   (first applied first): returns [m_k x ... x m_1] reduced over a fresh
+   pool of [domains engine] domains.  Exposed for direct use and for
+   fault-injection tests — a worker failure raises the structured
+   {!Error.Worker_failure}, never kills a domain. *)
+let combine_parallel engine mats =
+  match mats with
+  | [] -> Dd.Mdd.identity engine.context engine.n
+  | mats ->
+    let pool = Domain_pool.create ~domains:engine.domains in
+    Fun.protect
+      ~finally:(fun () -> Domain_pool.shutdown pool)
+      (fun () -> reduce_window engine pool (List.rev mats))
+
 (* Window-combination driver shared by the k-operations and max-size
    strategies: gates accumulate into a pending product (mat-mat
    multiplications); the product is flushed onto the state (one mat-vec)
@@ -452,8 +531,27 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
   let traced = Obs.Trace.is_on trace in
   let profile = engine.profile in
   let run_t0 = Obs.Clock.now () in
+  engine.stats.domains <- engine.domains;
+  let pool =
+    if engine.domains > 1 then
+      Some (Domain_pool.create ~domains:engine.domains)
+    else None
+  in
+  (* Parallel windows need the whole window's gate DDs at once (the tree
+     reduction), which forfeits the per-multiplication matrix-budget
+     check — so a [max_matrix_nodes] guard keeps the sequential
+     accumulate-and-degrade path even when a pool exists. *)
+  let parallel_windows =
+    match (pool, strategy) with
+    | Some _, Strategy.K_operations _ ->
+      guard.Guard.max_matrix_nodes = None
+    | _ -> false
+  in
   let pending = ref None in
   let pending_count = ref 0 in
+  (* parallel-window accumulator (newest first); reduced at flush *)
+  let window = ref [] in
+  let window_count = ref 0 in
   (* gates whose effect is in the state; the resume point of checkpoints *)
   let applied = ref start_gate in
   (* gates seen in application order, for skipping on resume *)
@@ -488,7 +586,8 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
       matrix_nodes =
         (match !pending with
         | Some p -> Dd.Mdd.node_count p
-        | None -> 0);
+        | None ->
+          List.fold_left (fun acc m -> acc + Dd.Mdd.node_count m) 0 !window);
     }
   in
   let abort kind ~limit ~actual =
@@ -498,6 +597,7 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
   in
   let auto_gc () =
     let m_roots = List.filter_map (fun r -> !r) [ pending; block_root ] in
+    let m_roots = !window @ m_roots in
     let v_removed, m_removed =
       Dd.Context.collect ctx ~v_roots:[ engine.state_edge ] ~m_roots
     in
@@ -571,6 +671,30 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
     | Some limit -> fun product -> Dd.Mdd.node_count product > limit
   in
   let flush () =
+    (match !window with
+    | [] -> ()
+    | mats ->
+      let pool = Option.get pool in
+      let combined = !window_count > 1 in
+      if combined then
+        engine.stats.combined_applications <-
+          engine.stats.combined_applications + 1;
+      let t0 = if traced then Obs.Trace.now trace else 0. in
+      let product = reduce_window engine pool mats in
+      note_matrix_peak engine product;
+      window := [];
+      apply_matrix engine product;
+      if traced && combined then
+        Obs.Trace.span trace Obs.Trace.Window_combined ~t0
+          ~gate:(Obs.Trace.gate trace)
+          ~state_nodes:(Dd.Vdd.node_count engine.state_edge)
+          ~matrix_nodes:(Dd.Mdd.node_count product)
+          ~hits:0 ~misses:0
+          ~detail:
+            (Printf.sprintf "%d gates (parallel, %d domains)" !window_count
+               (Domain_pool.size pool));
+      applied := !applied + !window_count;
+      window_count := 0);
     match !pending with
     | None -> ()
     | Some product ->
@@ -647,6 +771,13 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
       apply_gate_single engine gate;
       incr applied;
       after_state_update ()
+    | Strategy.K_operations k when parallel_windows ->
+      (* no matrix budget on this path (see [parallel_windows]), so no
+         degradation logic: accumulate gate DDs and tree-reduce at k *)
+      window := gate_dd engine gate :: !window;
+      incr window_count;
+      if !window_count >= k then flush ();
+      if !window_count = 0 then after_state_update ()
     | Strategy.K_operations k ->
       if !fallback_left > 0 then begin
         decr fallback_left;
@@ -708,13 +839,18 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
       Obs.Trace.instant trace Obs.Trace.Gate_applied
         ~gate:(Obs.Trace.gate trace)
         ~state_nodes:
-          (if Option.is_none !pending then
+          (if Option.is_none !pending && !window = [] then
              Dd.Vdd.node_count engine.state_edge
            else -1)
         ~matrix_nodes:
           (match !pending with
           | Some p -> Dd.Mdd.node_count p
-          | None -> -1)
+          | None ->
+            if !window = [] then -1
+            else
+              List.fold_left
+                (fun acc m -> acc + Dd.Mdd.node_count m)
+                0 !window)
         ~detail:(Gate.name gate)
   in
   let absorb_or_skip gate =
@@ -778,6 +914,9 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
      abort (budget exhaustion raises out of [walk]) *)
   Fun.protect
     ~finally:(fun () ->
+      (* pool teardown before anything else: no leaked domains, and the
+         shared tables are guaranteed quiescent past this point *)
+      (match pool with Some p -> Domain_pool.shutdown p | None -> ());
       engine.stats.wall_time_seconds <-
         engine.stats.wall_time_seconds +. (Obs.Clock.now () -. run_t0);
       if traced then
@@ -837,6 +976,54 @@ let measure_all engine =
 
 let sample engine =
   Dd.Measure.sample engine.context engine.rng_state engine.state_edge
+
+(* Multi-shot sampling with pool-size-independent outcomes: the engine
+   RNG is consumed exactly [shots] times — one derived seed per shot,
+   drawn sequentially — and shot [i] walks the DD under its own
+   [Random.State.make [| seed_i |]].  The outcome array therefore depends
+   only on the engine RNG stream and the state DD, never on how shots
+   were scheduled over domains; [--domains 1] and [--domains 4] agree
+   exactly.  (The per-shot walk only reads the DD and memoises subtree
+   norms in the context's norm table — float results, identical from
+   every shot, so racy table traffic is harmless and locked anyway.) *)
+let sample_shots engine shots =
+  if shots < 0 then
+    Error.invalid_parameter ~what:"Engine.sample_shots"
+      (Printf.sprintf "shots must be >= 0 (got %d)" shots);
+  let seeds = Array.make (max shots 1) 0 in
+  for i = 0 to shots - 1 do
+    seeds.(i) <- Random.State.bits engine.rng_state
+  done;
+  let ctx = engine.context and state = engine.state_edge in
+  let run_shot seed =
+    Dd.Measure.sample ctx (Random.State.make [| seed |]) state
+  in
+  if shots = 0 then [||]
+  else if engine.domains <= 1 || shots = 1 then
+    Array.init shots (fun i -> run_shot seeds.(i))
+  else begin
+    let pool = Domain_pool.create ~domains:(min engine.domains shots) in
+    Fun.protect
+      ~finally:(fun () ->
+        Domain_pool.shutdown pool;
+        Dd.Context.set_parallel ctx false)
+      (fun () ->
+        Dd.Context.set_parallel ctx true;
+        let thunks =
+          Array.init shots (fun i () -> run_shot seeds.(i))
+        in
+        Array.map
+          (function
+            | Ok outcome -> outcome
+            | Error e ->
+              Error.raise_error
+                (Error.Worker_failure
+                   {
+                     task = "multi-shot sampling";
+                     message = Printexc.to_string e;
+                   }))
+          (Domain_pool.run_all pool thunks))
+  end
 
 let fidelity_dense engine reference =
   if Array.length reference <> 1 lsl engine.n then

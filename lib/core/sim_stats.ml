@@ -22,6 +22,7 @@ type t = {
   mutable reorder_swaps : int;
   mutable reorder_nodes_before : int;
   mutable reorder_nodes_after : int;
+  mutable domains : int;
 }
 
 let create () =
@@ -49,6 +50,7 @@ let create () =
     reorder_swaps = 0;
     reorder_nodes_before = 0;
     reorder_nodes_after = 0;
+    domains = 1;
   }
 
 let reset stats =
@@ -74,7 +76,8 @@ let reset stats =
   stats.reorders_run <- 0;
   stats.reorder_swaps <- 0;
   stats.reorder_nodes_before <- 0;
-  stats.reorder_nodes_after <- 0
+  stats.reorder_nodes_after <- 0;
+  stats.domains <- 1
 
 let copy stats = { stats with mat_vec_mults = stats.mat_vec_mults }
 
@@ -101,7 +104,8 @@ let assign dst src =
   dst.reorders_run <- src.reorders_run;
   dst.reorder_swaps <- src.reorder_swaps;
   dst.reorder_nodes_before <- src.reorder_nodes_before;
-  dst.reorder_nodes_after <- src.reorder_nodes_after
+  dst.reorder_nodes_after <- src.reorder_nodes_after;
+  dst.domains <- src.domains
 
 let pp fmt stats =
   let fast_pct =
@@ -140,4 +144,5 @@ let pp fmt stats =
     Format.fprintf fmt
       " reorders=%d reorder-swaps=%d reorder-nodes=%d->%d"
       stats.reorders_run stats.reorder_swaps stats.reorder_nodes_before
-      stats.reorder_nodes_after
+      stats.reorder_nodes_after;
+  if stats.domains > 1 then Format.fprintf fmt " domains=%d" stats.domains

@@ -58,6 +58,10 @@ type t = {
       (** cumulative state-DD node count entering reordering passes *)
   mutable reorder_nodes_after : int;
       (** cumulative state-DD node count leaving reordering passes *)
+  mutable domains : int;
+      (** domain-pool size the run was configured with ([--domains]);
+          [1] = sequential.  Persisted in checkpoints (format v7) so a
+          resumed run keeps its pool size. *)
 }
 
 val create : unit -> t

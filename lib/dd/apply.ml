@@ -296,7 +296,12 @@ let apply ctx ~n ~target ?(controls = []) entries state =
       and ident_sub (edge : vedge) =
         if v_is_zero edge then v_zero
         else if v_is_terminal edge.vt then edge
-        else if rebuild_stable ctx edge.vt then edge
+        else if rebuild_stable ctx edge.vt then begin
+          (* cache-equivalent win without a table probe — counted so the
+             bench can see the reuse the apply_v hit rate misses *)
+          Context.note_apply_skip ctx;
+          edge
+        end
         else Vdd.scale ctx (Cnum.mul Cnum.one edge.vw) (ident_unit edge.vt)
       in
       let ident_edge w (edge : vedge) =
@@ -310,6 +315,7 @@ let apply ctx ~n ~target ?(controls = []) entries state =
              normalisation pivot (bitwise one, but a tagged representative
              — tags feed Vdd.add's operand swap, so the exact value
              matters, not just its bits) *)
+          Context.note_apply_skip ctx;
           let v = edge.vt in
           Vdd.scale ctx
             (Cnum.mul w edge.vw)

@@ -7,7 +7,17 @@
    bounds the memory of a long run, removes rehash pauses from the hot
    path, and makes a lookup one multiply-shift index plus a full key
    comparison — a collision can therefore never return the value of a
-   different key, it only reads as a miss. *)
+   different key, it only reads as a miss.
+
+   Cross-domain sharing ([set_parallel]): a slot's three key words and its
+   value are written non-atomically, so an unguarded racing reader could
+   match the keys of one store against the value of another.  When the
+   parallel flag is armed, [find] and [store] take a per-slot-group mutex
+   (64 lock stripes indexed by low slot bits) — entries stay lossy memo
+   hints, but a hit is always the value that was stored with its key.
+   Counters are [Atomic.t] so they stay coherent without widening the
+   critical section; [sweep]/[clear]/[iter] run only while the domain
+   pool is quiescent and take no locks. *)
 
 type 'v t = {
   name : string;
@@ -19,13 +29,15 @@ type 'v t = {
   k3 : int array;
   value : 'v array;
   stamp : int array;  (* generation the entry was written / last validated *)
-  mutable entries : int;
+  locks : Mutex.t array;
+  mutable parallel : bool;
+  entries : int Atomic.t;
   mutable generation : int;
-  mutable lookups : int;
-  mutable hits : int;
-  mutable stores : int;
-  mutable evictions : int;
-  mutable invalidated : int;
+  lookups : int Atomic.t;
+  hits : int Atomic.t;
+  stores : int Atomic.t;
+  evictions : int Atomic.t;
+  invalidated : int Atomic.t;
 }
 
 type stats = {
@@ -41,6 +53,9 @@ type stats = {
   generation : int;
 }
 
+let lock_count = 64
+let lock_mask = lock_count - 1
+
 let create ~name ~bits ~dummy =
   if bits < 1 || bits > 28 then
     invalid_arg "Compute_table.create: bits must be in [1, 28]";
@@ -55,19 +70,22 @@ let create ~name ~bits ~dummy =
     k3 = Array.make capacity 0;
     value = Array.make capacity dummy;
     stamp = Array.make capacity 0;
-    entries = 0;
+    locks = Array.init lock_count (fun _ -> Mutex.create ());
+    parallel = false;
+    entries = Atomic.make 0;
     generation = 0;
-    lookups = 0;
-    hits = 0;
-    stores = 0;
-    evictions = 0;
-    invalidated = 0;
+    lookups = Atomic.make 0;
+    hits = Atomic.make 0;
+    stores = Atomic.make 0;
+    evictions = Atomic.make 0;
+    invalidated = Atomic.make 0;
   }
 
 let capacity (t : _ t) = t.mask + 1
 let name (t : _ t) = t.name
-let length (t : _ t) = t.entries
+let length (t : _ t) = Atomic.get t.entries
 let generation (t : _ t) = t.generation
+let set_parallel (t : _ t) flag = t.parallel <- flag
 
 (* Multiplicative mixing of the three key words; the constants are the
    usual 64-bit golden-ratio/xxhash primes.  Only the low bits survive the
@@ -81,12 +99,10 @@ let slot (t : _ t) k1 k2 k3 =
 let key_matches (t : _ t) i k1 k2 k3 =
   t.k1.(i) = k1 && t.k2.(i) = k2 && t.k3.(i) = k3
 
-let find (t : 'v t) ~k1 ~k2 ~k3 =
-  t.lookups <- t.lookups + 1;
-  let i = slot t k1 k2 k3 in
+let probe (t : 'v t) i k1 k2 k3 =
   if Bytes.unsafe_get t.occupied i = '\001' && key_matches t i k1 k2 k3
   then begin
-    t.hits <- t.hits + 1;
+    Atomic.incr t.hits;
     (* fault harness: a poisoned hit hands back the dummy value — the
        corruption a collision-checking bug or torn store would produce *)
     if Fault.fire Fault.Table_poison then Some t.dummy
@@ -94,21 +110,46 @@ let find (t : 'v t) ~k1 ~k2 ~k3 =
   end
   else None
 
-let store (t : 'v t) ~k1 ~k2 ~k3 v =
+let find (t : 'v t) ~k1 ~k2 ~k3 =
+  Atomic.incr t.lookups;
   let i = slot t k1 k2 k3 in
+  if t.parallel then begin
+    let lock = t.locks.(i land lock_mask) in
+    Mutex.lock lock;
+    match probe t i k1 k2 k3 with
+    | r ->
+      Mutex.unlock lock;
+      r
+    | exception e ->
+      Mutex.unlock lock;
+      raise e
+  end
+  else probe t i k1 k2 k3
+
+let write (t : 'v t) i k1 k2 k3 v =
   if Bytes.unsafe_get t.occupied i = '\001' then begin
-    if not (key_matches t i k1 k2 k3) then t.evictions <- t.evictions + 1
+    if not (key_matches t i k1 k2 k3) then Atomic.incr t.evictions
   end
   else begin
     Bytes.unsafe_set t.occupied i '\001';
-    t.entries <- t.entries + 1
+    Atomic.incr t.entries
   end;
   t.k1.(i) <- k1;
   t.k2.(i) <- k2;
   t.k3.(i) <- k3;
   t.value.(i) <- v;
   t.stamp.(i) <- t.generation;
-  t.stores <- t.stores + 1
+  Atomic.incr t.stores
+
+let store (t : 'v t) ~k1 ~k2 ~k3 v =
+  let i = slot t k1 k2 k3 in
+  if t.parallel then begin
+    let lock = t.locks.(i land lock_mask) in
+    Mutex.lock lock;
+    write t i k1 k2 k3 v;
+    Mutex.unlock lock
+  end
+  else write t i k1 k2 k3 v
 
 let iter f (t : 'v t) =
   for i = 0 to t.mask do
@@ -118,7 +159,7 @@ let iter f (t : 'v t) =
 
 let clear (t : _ t) =
   Bytes.fill t.occupied 0 (Bytes.length t.occupied) '\000';
-  t.entries <- 0
+  Atomic.set t.entries 0
 
 (* Generation-aware sweep: entries whose keys/values still refer to live
    nodes survive the collection and are re-stamped with the new
@@ -133,39 +174,42 @@ let sweep (t : 'v t) ~keep =
         t.stamp.(i) <- t.generation
       else begin
         Bytes.unsafe_set t.occupied i '\000';
-        t.entries <- t.entries - 1;
+        Atomic.decr t.entries;
         incr dropped
       end
   done;
-  t.invalidated <- t.invalidated + !dropped;
+  ignore (Atomic.fetch_and_add t.invalidated !dropped);
   !dropped
 
 let reset_counters (t : _ t) =
-  t.lookups <- 0;
-  t.hits <- 0;
-  t.stores <- 0;
-  t.evictions <- 0;
-  t.invalidated <- 0
+  Atomic.set t.lookups 0;
+  Atomic.set t.hits 0;
+  Atomic.set t.stores 0;
+  Atomic.set t.evictions 0;
+  Atomic.set t.invalidated 0
 
 let stats (t : 'v t) : stats =
+  let lookups = Atomic.get t.lookups and hits = Atomic.get t.hits in
   {
     table = t.name;
     capacity = capacity t;
-    entries = t.entries;
-    lookups = t.lookups;
-    hits = t.hits;
-    misses = t.lookups - t.hits;
-    stores = t.stores;
-    evictions = t.evictions;
-    invalidated = t.invalidated;
+    entries = Atomic.get t.entries;
+    lookups;
+    hits;
+    misses = lookups - hits;
+    stores = Atomic.get t.stores;
+    evictions = Atomic.get t.evictions;
+    invalidated = Atomic.get t.invalidated;
     generation = t.generation;
   }
 
-let hits (t : _ t) = t.hits
-let lookups (t : _ t) = t.lookups
+let hits (t : _ t) = Atomic.get t.hits
+let lookups (t : _ t) = Atomic.get t.lookups
 
 let hit_rate (t : _ t) =
-  if t.lookups = 0 then 0. else float_of_int t.hits /. float_of_int t.lookups
+  let lookups = Atomic.get t.lookups in
+  if lookups = 0 then 0.
+  else float_of_int (Atomic.get t.hits) /. float_of_int lookups
 
 let pp_stats fmt s =
   Format.fprintf fmt

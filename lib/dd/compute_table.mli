@@ -31,6 +31,13 @@ val create : name:string -> bits:int -> dummy:'v -> 'v t
 val find : 'v t -> k1:int -> k2:int -> k3:int -> 'v option
 val store : 'v t -> k1:int -> k2:int -> k3:int -> 'v -> unit
 
+val set_parallel : 'v t -> bool -> unit
+(** Arm (or disarm) the per-slot-group mutexes taken by {!find}/{!store}
+    so concurrent domains cannot tear a slot's key/value pair.  Off by
+    default (no locks, the pre-sharing behaviour).  {!sweep}, {!clear}
+    and {!iter} remain unlocked — run them only while the domain pool is
+    quiescent. *)
+
 val clear : 'v t -> unit
 (** Drop every entry.  Counters are kept. *)
 

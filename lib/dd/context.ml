@@ -36,6 +36,10 @@ type t = {
      structured-apply kernel (see apply.ml) *)
   apply_stable : (int, bool) Hashtbl.t;
   gc : gc_stats;
+  (* structured-apply rebuild-stable short-circuits: cache-equivalent wins
+     that never probe apply_v, counted separately so bench rows can show
+     why a cache-friendly circuit reports few probe hits (see apply.ml) *)
+  mutable apply_skips : int;
   (* attached by Engine.set_trace; Trace.null (disabled) by default so the
      kernels never pay more than a flag check *)
   mutable trace : Obs.Trace.t;
@@ -92,6 +96,7 @@ let create ?tolerance ?(cache_bits = default_cache_bits) () =
         m_reclaimed_total = 0;
         entries_invalidated = 0;
       };
+    apply_skips = 0;
     trace = Obs.Trace.null;
     order = Order.identity;
   }
@@ -153,6 +158,32 @@ let table_stats ctx =
   ]
 
 let gc_stats ctx = ctx.gc
+let apply_skips ctx = ctx.apply_skips
+let note_apply_skip ctx = ctx.apply_skips <- ctx.apply_skips + 1
+
+(* Arm (or disarm) every shared table for cross-domain use: the canonical
+   weight table, both unique tables and all nine compute tables.  The
+   Hashtbl-backed members (identity_cache, apply_kind_ids,
+   apply_layout_ids, apply_stable) are NOT made concurrent — worker
+   domains must not touch them, which the engine guarantees by building
+   gate DDs and layout ids on the main domain before fanning out and by
+   running only Vdd.add / Mdd.mul / Measure.sample in workers. *)
+let set_parallel ctx flag =
+  Ctable.set_parallel ctx.ctable flag;
+  Hashcons.V.set_parallel ctx.v_unique flag;
+  Hashcons.M.set_parallel ctx.m_unique flag;
+  Compute_table.set_parallel ctx.add_v flag;
+  Compute_table.set_parallel ctx.add_m flag;
+  Compute_table.set_parallel ctx.mul_mv flag;
+  Compute_table.set_parallel ctx.mul_mm flag;
+  Compute_table.set_parallel ctx.apply_v flag;
+  Compute_table.set_parallel ctx.dot flag;
+  Compute_table.set_parallel ctx.adjoint flag;
+  Compute_table.set_parallel ctx.norm flag;
+  Compute_table.set_parallel ctx.max_mag flag
+
+let per_level_v_nodes ctx ~levels =
+  Hashcons.V.per_level_counts ctx.v_unique ~levels
 
 let reset_stats ctx =
   Compute_table.reset_counters ctx.add_v;
@@ -170,7 +201,8 @@ let reset_stats ctx =
   gc.last_pause <- 0.;
   gc.v_reclaimed_total <- 0;
   gc.m_reclaimed_total <- 0;
-  gc.entries_invalidated <- 0
+  gc.entries_invalidated <- 0;
+  ctx.apply_skips <- 0
 
 let pp_stats fmt ctx =
   Format.fprintf fmt "nodes created: %d vector, %d matrix (live %d / %d)@\n"

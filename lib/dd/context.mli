@@ -38,6 +38,9 @@ type t = {
           identity"; lazily filled by the structured-apply kernel, swept
           with the unique table on {!collect} *)
   gc : gc_stats;
+  mutable apply_skips : int;
+      (** structured-apply rebuild-stable short-circuits — cache-equivalent
+          wins that never probe the [apply_v] table *)
   mutable trace : Obs.Trace.t;
       (** event sink for kernel-level spans ({!collect} emits [Gc]);
           {!Obs.Trace.null} — disabled, zero-cost — until one is attached *)
@@ -100,6 +103,31 @@ val table_stats : t -> Compute_table.stats list
 (** Hit/miss/eviction counters of every compute table, in a fixed order. *)
 
 val gc_stats : t -> gc_stats
+
+val apply_skips : t -> int
+(** Structured-apply rebuild-stable short-circuits since the last
+    {!reset_stats}: subtrees the kernel proved a rebuild would return
+    unchanged, answered in O(1) without probing the apply table.  On
+    cache-friendly circuits these skips, not probe hits, carry most of
+    the reuse. *)
+
+val note_apply_skip : t -> unit
+(** Count one rebuild-stable short-circuit (called by the apply kernel). *)
+
+val set_parallel : t -> bool -> unit
+(** Arm (or disarm) every shared table — the canonical weight table, both
+    unique tables, all compute tables — for concurrent interning from
+    worker domains.  The plain-Hashtbl members (identity cache, apply
+    kind/layout ids, rebuild-stable flags) stay single-domain: the engine
+    only runs [Vdd.add]/[Mdd.mul]/[Measure.sample] in workers, which
+    never touch them.  Toggle only while no worker domain is running. *)
+
+val per_level_v_nodes : t -> levels:int -> int array
+(** Resident vector nodes per level, straight from the unique table's
+    incrementally maintained counters — O(levels), no DD walk.  Between
+    collections this counts the whole resident table (a superset of any
+    one root's reachable set), which is exactly what the adaptive-reorder
+    bulge probe wants to bound. *)
 
 val reset_stats : t -> unit
 (** Zero the compute-table counters and the GC statistics.  Node-creation

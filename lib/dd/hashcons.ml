@@ -6,7 +6,20 @@
    (3) look the node up in a unique table keyed by (level, child weight
    tags, child node ids).  The functor below is that code path once,
    over an open-addressed table specialised to the node type — no tuple
-   keys, no polymorphic hashing. *)
+   keys, no polymorphic hashing.
+
+   The table is sharded into [stripes] independent sub-tables selected by
+   high bits of the key hash, each with its own slot array, resize cycle
+   and mutex.  In the default sequential mode no lock is ever taken and
+   the behaviour is identical to a single flat table (striping only moves
+   slots around; which node a key resolves to never depends on placement).
+   When [set_parallel] arms the locks, concurrent domains intern through
+   the same table: two domains only contend when their keys land in the
+   same stripe, and node ids stay unique because the creation counter is
+   atomic.  Id *order* under concurrency is racy by design — ids feed the
+   commutativity-normalising swaps of Vdd.add/Mdd.add, so parallel runs
+   are canonical but not bitwise-reproducible (see docs/dd-internals.md,
+   "Concurrency model"). *)
 
 open Dd_complex
 
@@ -48,6 +61,9 @@ module type S = sig
      The invariant auditor uses it to detect reachable nodes that were
      dropped from, or never entered, the unique table. *)
   val mem : t -> node -> bool
+
+  val set_parallel : t -> bool -> unit
+  val per_level_counts : t -> levels:int -> int array
 end
 
 module Make (N : NODE) :
@@ -55,31 +71,60 @@ module Make (N : NODE) :
   type node = N.node
   type edge = N.edge
 
-  type t = {
-    intern : Cnum.t -> Cnum.t;
+  type stripe = {
+    lock : Mutex.t;
     mutable slots : N.node array; (* N.terminal (id 0) marks empty *)
     mutable mask : int;
     mutable entries : int;
-    mutable created : int; (* ids handed out so far; monotone *)
+    (* resident nodes per level, maintained on insert and rebuilt on
+       prune — the O(levels) bulge probe reads these instead of walking
+       the DD (each stripe owns its own array, so under [parallel] the
+       updates stay inside the stripe lock) *)
+    mutable level_counts : int array;
   }
 
-  let initial_bits = 16
+  type t = {
+    intern : Cnum.t -> Cnum.t;
+    stripes : stripe array;
+    created : int Atomic.t; (* ids handed out so far; monotone *)
+    mutable parallel : bool;
+  }
+
+  let stripe_bits = 4
+  let stripe_count = 1 lsl stripe_bits
+
+  (* 16 stripes x 2^12 slots = the 2^16 initial capacity the flat table
+     had *)
+  let initial_bits = 12
 
   let create ~intern () =
     let capacity = 1 lsl initial_bits in
     {
       intern;
-      slots = Array.make capacity N.terminal;
-      mask = capacity - 1;
-      entries = 0;
-      created = 0;
+      stripes =
+        Array.init stripe_count (fun _ ->
+            {
+              lock = Mutex.create ();
+              slots = Array.make capacity N.terminal;
+              mask = capacity - 1;
+              entries = 0;
+              level_counts = Array.make 8 0;
+            });
+      created = Atomic.make 0;
+      parallel = false;
     }
 
-  let length t = t.entries
-  let created t = t.created
+  let set_parallel t flag = t.parallel <- flag
+
+  let length t =
+    Array.fold_left (fun acc s -> acc + s.entries) 0 t.stripes
+
+  let created t = Atomic.get t.created
 
   let iter f t =
-    Array.iter (fun n -> if N.id n <> 0 then f n) t.slots
+    Array.iter
+      (fun s -> Array.iter (fun n -> if N.id n <> 0 then f n) s.slots)
+      t.stripes
 
   let mix1 = 0x2545F4914F6CDD1D
   let mix2 = 0x27D4EB2F165667C5
@@ -104,6 +149,10 @@ module Make (N : NODE) :
     done;
     !h lxor (!h lsr 29)
 
+  (* stripe selection uses hash bits far above any in-stripe mask, so the
+     two indices stay independent *)
+  let stripe_of t h = t.stripes.((h lsr 48) land (stripe_count - 1))
+
   let node_matches n ~level (children : N.edge array) =
     N.level n = level
     &&
@@ -117,23 +166,66 @@ module Make (N : NODE) :
     done;
     !ok
 
-  let insert_rehashed t n =
-    let i = ref (hash_node n land t.mask) in
-    while N.id t.slots.(!i) <> 0 do
-      i := (!i + 1) land t.mask
+  let insert_rehashed s n =
+    let i = ref (hash_node n land s.mask) in
+    while N.id s.slots.(!i) <> 0 do
+      i := (!i + 1) land s.mask
     done;
-    t.slots.(!i) <- n
+    s.slots.(!i) <- n
 
-  let resize t =
-    let old = t.slots in
+  let resize s =
+    let old = s.slots in
     let capacity = 2 * Array.length old in
-    t.slots <- Array.make capacity N.terminal;
-    t.mask <- capacity - 1;
-    Array.iter (fun n -> if N.id n <> 0 then insert_rehashed t n) old
+    s.slots <- Array.make capacity N.terminal;
+    s.mask <- capacity - 1;
+    Array.iter (fun n -> if N.id n <> 0 then insert_rehashed s n) old
 
   (* keep the load factor at or below 1/2 so linear probes stay short *)
-  let ensure_room t =
-    if 2 * (t.entries + 1) > t.mask + 1 then resize t
+  let ensure_room s =
+    if 2 * (s.entries + 1) > s.mask + 1 then resize s
+
+  let count_level s level =
+    let len = Array.length s.level_counts in
+    if level >= len then begin
+      let grown = Array.make (max (level + 1) (2 * len)) 0 in
+      Array.blit s.level_counts 0 grown 0 len;
+      s.level_counts <- grown
+    end;
+    s.level_counts.(level) <- s.level_counts.(level) + 1
+
+  let per_level_counts t ~levels =
+    let out = Array.make levels 0 in
+    Array.iter
+      (fun s ->
+        let len = min levels (Array.length s.level_counts) in
+        for level = 0 to len - 1 do
+          out.(level) <- out.(level) + s.level_counts.(level)
+        done)
+      t.stripes;
+    out
+
+  (* probe-or-insert under an armed stripe lock; split out so [make] can
+     release the lock on the Alloc_fail fault path *)
+  let find_or_insert t s ~level ~h (children : N.edge array) =
+    ensure_room s;
+    let i = ref (h land s.mask) in
+    while
+      let n = s.slots.(!i) in
+      N.id n <> 0 && not (node_matches n ~level children)
+    do
+      i := (!i + 1) land s.mask
+    done;
+    let n = s.slots.(!i) in
+    if N.id n <> 0 then n
+    else begin
+      if Fault.fire Fault.Alloc_fail then raise Out_of_memory;
+      let id = Atomic.fetch_and_add t.created 1 + 1 in
+      let node = N.build ~id ~level children in
+      s.slots.(!i) <- node;
+      s.entries <- s.entries + 1;
+      count_level s level;
+      node
+    end
 
   let make t ~level (children : N.edge array) =
     let all_zero = ref true in
@@ -173,54 +265,59 @@ module Make (N : NODE) :
           children.(i) <-
             N.edge (t.intern (Cnum.div (N.weight c) pivot)) (N.target c)
       done;
-      ensure_room t;
       let h = hash_children ~level children in
-      let i = ref (h land t.mask) in
-      while
-        let n = t.slots.(!i) in
-        N.id n <> 0 && not (node_matches n ~level children)
-      do
-        i := (!i + 1) land t.mask
-      done;
-      let n = t.slots.(!i) in
-      if N.id n <> 0 then N.edge pivot n
-      else begin
-        if Fault.fire Fault.Alloc_fail then raise Out_of_memory;
-        let id = t.created + 1 in
-        t.created <- id;
-        let node = N.build ~id ~level children in
-        t.slots.(!i) <- node;
-        t.entries <- t.entries + 1;
-        N.edge pivot node
-      end
+      let s = stripe_of t h in
+      let node =
+        if t.parallel then begin
+          Mutex.lock s.lock;
+          match find_or_insert t s ~level ~h children with
+          | node ->
+            Mutex.unlock s.lock;
+            node
+          | exception e ->
+            Mutex.unlock s.lock;
+            raise e
+        end
+        else find_or_insert t s ~level ~h children
+      in
+      N.edge pivot node
     end
 
   let mem t node =
-    let i = ref (hash_node node land t.mask) in
+    let s = stripe_of t (hash_node node) in
+    let i = ref (hash_node node land s.mask) in
     let result = ref false in
     let probing = ref true in
     while !probing do
-      let n = t.slots.(!i) in
+      let n = s.slots.(!i) in
       if N.id n = 0 then probing := false
       else if n == node then begin
         result := true;
         probing := false
       end
-      else i := (!i + 1) land t.mask
+      else i := (!i + 1) land s.mask
     done;
     !result
 
   let prune t ~keep =
-    let survivors = ref [] in
     let removed = ref 0 in
     Array.iter
-      (fun n ->
-        if N.id n <> 0 then
-          if keep n then survivors := n :: !survivors else incr removed)
-      t.slots;
-    Array.fill t.slots 0 (Array.length t.slots) N.terminal;
-    t.entries <- t.entries - !removed;
-    List.iter (insert_rehashed t) !survivors;
+      (fun s ->
+        let survivors = ref [] in
+        Array.iter
+          (fun n ->
+            if N.id n <> 0 then
+              if keep n then survivors := n :: !survivors else incr removed)
+          s.slots;
+        Array.fill s.slots 0 (Array.length s.slots) N.terminal;
+        Array.fill s.level_counts 0 (Array.length s.level_counts) 0;
+        List.iter
+          (fun n ->
+            insert_rehashed s n;
+            count_level s (N.level n))
+          !survivors;
+        s.entries <- List.length !survivors)
+      t.stripes;
     !removed
 end
 

@@ -52,6 +52,18 @@ module type S = sig
   (** Is this exact node (physical equality) the table's resident
       representative?  False for a node that was pruned or forged —
       the auditor's canonicity probe. *)
+
+  val set_parallel : t -> bool -> unit
+  (** Arm (or disarm) the per-stripe mutexes so concurrent domains can
+      intern through this table.  Sequential mode ([false], the default)
+      takes no locks and behaves exactly as the pre-sharded table.
+      Toggle only while no other domain is using the table. *)
+
+  val per_level_counts : t -> levels:int -> int array
+  (** Resident-node count per level, [0 .. levels-1], maintained
+      incrementally on insert and rebuilt on {!prune} — O(levels), not a
+      DD walk.  Counts nodes in the unique table, which between GC
+      sweeps is a superset of any single root's reachable set. *)
 end
 
 module Make (N : NODE) : S with type node = N.node and type edge = N.edge

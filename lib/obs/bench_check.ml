@@ -31,15 +31,18 @@ let classify name =
 (* -- identity-keyed array pairing ------------------------------------ *)
 
 let identity_keys =
-  [ "name"; "benchmark"; "circuit"; "mode"; "strategy"; "reorder" ]
+  [ "name"; "benchmark"; "circuit"; "mode"; "strategy"; "reorder"; "domains" ]
 
-(* "reorder" joined the identity after baselines without the field were
-   already committed; a missing key means "off".  The default value is
-   dropped from the identity string, so an explicit reorder:"off"
-   candidate still pairs with a pre-reorder baseline, while any other
-   value forms a distinct run. *)
+(* "reorder" and "domains" joined the identity after baselines without
+   the fields were already committed; a missing key means "off" / "1".
+   The default value is dropped from the identity string, so an explicit
+   reorder:"off" or domains:"1" candidate still pairs with an older
+   baseline, while any other value forms a distinct run. *)
 let identity_part key value =
-  match key with "reorder" when value = "off" -> None | _ -> Some value
+  match key with
+  | "reorder" when value = "off" -> None
+  | "domains" when value = "1" -> None
+  | _ -> Some value
 
 let identity_of = function
   | Json.Obj _ as obj ->

@@ -76,7 +76,7 @@ let test_write_file_atomic () =
 
 (* -- checkpoint format versions ------------------------------------------ *)
 
-(* Rewrite a current (v6) checkpoint as an older on-disk version: patch the
+(* Rewrite a current (v7) checkpoint as an older on-disk version: patch the
    header, truncate the stats line to the fields that version carried, drop
    the order line and the checksum trailer older writers never produced. *)
 let downgrade text ~version ~stats_fields =
@@ -85,7 +85,7 @@ let downgrade text ~version ~stats_fields =
   |> List.filter (fun line ->
          not (String.length line > 6 && String.sub line 0 6 = "order "))
   |> List.map (fun line ->
-         if line = "ddsim-checkpoint 6" then
+         if line = "ddsim-checkpoint 7" then
            Printf.sprintf "ddsim-checkpoint %d" version
          else if
            String.length line > 6 && String.sub line 0 6 = "stats "

@@ -462,7 +462,7 @@ let test_checkpoint_v4_roundtrip () =
       ~gate_index:6
   in
   let text = Dd_sim.Checkpoint.to_string checkpoint in
-  check_bool "v6 header" true (contains "ddsim-checkpoint 6" text);
+  check_bool "v7 header" true (contains "ddsim-checkpoint 7" text);
   check_bool "checksum trailer present" true (contains "\nchecksum " text);
   let reloaded =
     Dd_sim.Checkpoint.of_string (fresh_ctx ()) ~source:"<test>" text
@@ -496,7 +496,7 @@ let test_checkpoint_reads_v3 () =
              ((String.length line > 9 && String.sub line 0 9 = "checksum ")
              || (String.length line > 6 && String.sub line 0 6 = "order ")))
     |> List.map (fun line ->
-           if line = "ddsim-checkpoint 6" then "ddsim-checkpoint 3"
+           if line = "ddsim-checkpoint 7" then "ddsim-checkpoint 3"
            else if String.length line > 6 && String.sub line 0 6 = "stats " then
              String.concat " "
                (String.split_on_char ' ' line

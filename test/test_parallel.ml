@@ -1,0 +1,228 @@
+(* The domain-parallel kernel's contract: a pool run must be an
+   *observationally* faithful replacement for the sequential one.  At
+   [--domains 1] the engine takes the legacy code paths, so the tests
+   concentrate on what multi-domain runs promise — final amplitudes equal
+   within the interning tolerance, sampling outcomes *exactly* identical
+   across pool sizes, structured [Worker_failure] (never a crash or a
+   leaked domain) when a task dies in a worker, and a pool whose results
+   come back in submission order with exceptions captured per-task. *)
+
+open Util
+
+let with_fault ?seed plan body =
+  Fault.arm ?seed plan;
+  Fun.protect ~finally:Fault.disarm body
+
+let amplitudes engine =
+  let n = Dd_sim.Engine.qubits engine in
+  Array.init (1 lsl n) (fun i -> Dd_sim.Engine.amplitude engine i)
+
+let run_with ~domains ~k circuit =
+  let engine = Dd_sim.Engine.create Circuit.(circuit.qubits) in
+  Dd_sim.Engine.set_domains engine domains;
+  Dd_sim.Engine.run
+    ~strategy:(Dd_sim.Strategy.K_operations k)
+    engine circuit;
+  engine
+
+(* -- the pool itself ------------------------------------------------- *)
+
+let test_pool_results_in_order () =
+  let pool = Dd_sim.Domain_pool.create ~domains:3 in
+  Fun.protect
+    ~finally:(fun () -> Dd_sim.Domain_pool.shutdown pool)
+    (fun () ->
+      check_int "pool size" 3 (Dd_sim.Domain_pool.size pool);
+      let results =
+        Dd_sim.Domain_pool.run_all pool
+          (Array.init 20 (fun i () -> i * i))
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> check_int (Printf.sprintf "task %d result" i) (i * i) v
+          | Error e -> Alcotest.failf "task %d raised %s" i (Printexc.to_string e))
+        results;
+      (* a raising task is captured, not propagated, and its neighbours
+         still complete *)
+      let mixed =
+        Dd_sim.Domain_pool.run_all pool
+          [|
+            (fun () -> 1);
+            (fun () -> failwith "boom");
+            (fun () -> 3);
+          |]
+      in
+      (match mixed.(0) with
+      | Ok 1 -> ()
+      | _ -> Alcotest.fail "task 0 should succeed");
+      (match mixed.(1) with
+      | Error (Failure msg) when msg = "boom" -> ()
+      | _ -> Alcotest.fail "task 1 exception should be captured");
+      match mixed.(2) with
+      | Ok 3 -> ()
+      | _ -> Alcotest.fail "task 2 should succeed")
+
+let test_pool_shutdown_idempotent () =
+  let pool = Dd_sim.Domain_pool.create ~domains:2 in
+  let r = Dd_sim.Domain_pool.run_all pool [| (fun () -> 42) |] in
+  (match r.(0) with
+  | Ok 42 -> ()
+  | _ -> Alcotest.fail "single task");
+  Dd_sim.Domain_pool.shutdown pool;
+  Dd_sim.Domain_pool.shutdown pool;
+  check_bool "invalid size rejected" true
+    (match Dd_sim.Domain_pool.create ~domains:0 with
+    | exception Invalid_argument _ -> true
+    | pool ->
+        Dd_sim.Domain_pool.shutdown pool;
+        false)
+
+let test_set_domains_validates () =
+  let engine = Dd_sim.Engine.create 2 in
+  check_int "default domains" 1 (Dd_sim.Engine.domains engine);
+  Dd_sim.Engine.set_domains engine 4;
+  check_int "domains recorded" 4 (Dd_sim.Engine.domains engine);
+  check_bool "zero rejected" true
+    (match Dd_sim.Engine.set_domains engine 0 with
+    | exception Dd_sim.Error.Error (Dd_sim.Error.Invalid_parameter _) -> true
+    | () -> false)
+
+(* -- parallel runs agree with sequential ones ------------------------ *)
+
+let test_run_matches_sequential () =
+  let circuit = Standard.random_circuit ~seed:7 ~qubits:5 ~gates:40 () in
+  let seq = run_with ~domains:1 ~k:4 circuit in
+  let par = run_with ~domains:4 ~k:4 circuit in
+  check_cnum_array "k:4 amplitudes, 4 domains vs 1" (amplitudes seq)
+    (amplitudes par);
+  check_int "stats record the pool size" 4
+    (Dd_sim.Engine.stats par).Dd_sim.Sim_stats.domains;
+  check_int "same gates seen"
+    (Dd_sim.Engine.stats seq).Dd_sim.Sim_stats.gates_seen
+    (Dd_sim.Engine.stats par).Dd_sim.Sim_stats.gates_seen
+
+let test_combine_parallel_matches_combine () =
+  let circuit = Standard.random_circuit ~seed:11 ~qubits:4 ~gates:12 () in
+  let gates = Circuit.flatten circuit in
+  let seq = Dd_sim.Engine.create 4 in
+  let combined_seq = Dd_sim.Engine.combine seq gates in
+  Dd_sim.Engine.apply_matrix seq combined_seq;
+  let par = Dd_sim.Engine.create 4 in
+  Dd_sim.Engine.set_domains par 4;
+  let mats = List.map (Dd_sim.Engine.gate_dd par) gates in
+  let combined_par = Dd_sim.Engine.combine_parallel par mats in
+  Dd_sim.Engine.apply_matrix par combined_par;
+  check_cnum_array "tree-reduced product acts like the sequential fold"
+    (amplitudes seq) (amplitudes par)
+
+let prop_parallel_run_matches =
+  QCheck.Test.make
+    ~name:"parallel k-window runs match sequential amplitudes"
+    ~count:15
+    (QCheck.triple
+       (QCheck.make
+          ~print:(fun seed -> Printf.sprintf "random_circuit seed %d" seed)
+          QCheck.Gen.(0 -- 10000))
+       (QCheck.oneofl [ 2; 4 ])
+       (QCheck.oneofl [ 2; 4 ]))
+  @@ fun (seed, k, domains) ->
+  let circuit = Standard.random_circuit ~seed ~qubits:4 ~gates:24 () in
+  let seq = run_with ~domains:1 ~k circuit in
+  let par = run_with ~domains ~k circuit in
+  let a = amplitudes seq and b = amplitudes par in
+  Array.for_all2
+    (fun x y -> Dd_complex.Cnum.approx_equal ~tol:1e-9 x y)
+    a b
+
+(* -- sampling is exactly deterministic across pool sizes ------------- *)
+
+let test_sample_shots_pool_independent () =
+  let circuit = Standard.random_circuit ~seed:3 ~qubits:6 ~gates:50 () in
+  let shots_with domains =
+    let engine = Dd_sim.Engine.create ~seed:0xBEEF Circuit.(circuit.qubits) in
+    Dd_sim.Engine.run engine circuit;
+    Dd_sim.Engine.set_domains engine domains;
+    Dd_sim.Engine.sample_shots engine 128
+  in
+  let one = shots_with 1 in
+  let three = shots_with 3 in
+  let four = shots_with 4 in
+  check_int "shot count" 128 (Array.length one);
+  check_bool "1 domain = 3 domains, bitwise" true (one = three);
+  check_bool "1 domain = 4 domains, bitwise" true (one = four)
+
+let test_sample_shots_edges () =
+  let engine = Dd_sim.Engine.create 3 in
+  Dd_sim.Engine.set_domains engine 4;
+  check_int "zero shots" 0 (Array.length (Dd_sim.Engine.sample_shots engine 0));
+  check_bool "negative shots rejected" true
+    (match Dd_sim.Engine.sample_shots engine (-1) with
+    | exception Dd_sim.Error.Error (Dd_sim.Error.Invalid_parameter _) -> true
+    | _ -> false);
+  (* |000> state: every shot is 0, whatever the pool size *)
+  let shots = Dd_sim.Engine.sample_shots engine 17 in
+  Array.iteri (fun i s -> check_int (Printf.sprintf "shot %d" i) 0 s) shots
+
+(* -- a task dying in a worker surfaces as Worker_failure ------------- *)
+
+let test_worker_alloc_failure_is_structured () =
+  (* Build the operation DDs *before* arming so construction cannot trip
+     the fault; the first fresh product node inside the pooled reduction
+     then hits [Alloc_fail] and must come back as the structured error,
+     with every worker domain joined (combine_parallel's protect). *)
+  let circuit = Standard.random_circuit ~seed:5 ~qubits:4 ~gates:8 () in
+  let gates = Circuit.flatten circuit in
+  let engine = Dd_sim.Engine.create 4 in
+  Dd_sim.Engine.set_domains engine 2;
+  let mats = List.map (Dd_sim.Engine.gate_dd engine) gates in
+  (match
+     with_fault
+       [ (Fault.Alloc_fail, Fault.Always) ]
+       (fun () -> Dd_sim.Engine.combine_parallel engine mats)
+   with
+  | exception Dd_sim.Error.Error (Dd_sim.Error.Worker_failure { task; message })
+    ->
+      check_bool "failure names the parallel section" true
+        (task = "window product");
+      check_bool "failure carries the original exception" true
+        (String.length message > 0)
+  | exception e ->
+      Alcotest.failf "expected Worker_failure, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Worker_failure, combine succeeded");
+  (* the engine and its tables survive the failed attempt: the same
+     combination succeeds once the fault is disarmed *)
+  let combined = Dd_sim.Engine.combine_parallel engine mats in
+  Dd_sim.Engine.apply_matrix engine combined;
+  let seq = Dd_sim.Engine.create 4 in
+  Dd_sim.Engine.apply_matrix seq (Dd_sim.Engine.combine seq gates);
+  check_cnum_array "post-fault combine still correct" (amplitudes seq)
+    (amplitudes engine)
+
+let test_audit_passes_after_parallel_run () =
+  let circuit = Standard.random_circuit ~seed:13 ~qubits:5 ~gates:60 () in
+  let engine = run_with ~domains:4 ~k:4 circuit in
+  check_int "auditor finds no violations after concurrent interning" 0
+    (Dd_sim.Engine.audit_now engine)
+
+let suite =
+  [
+    Alcotest.test_case "pool returns results in submission order" `Quick
+      test_pool_results_in_order;
+    Alcotest.test_case "pool shutdown is idempotent; size validated" `Quick
+      test_pool_shutdown_idempotent;
+    Alcotest.test_case "set_domains validates its argument" `Quick
+      test_set_domains_validates;
+    Alcotest.test_case "4-domain k-window run matches sequential" `Quick
+      test_run_matches_sequential;
+    Alcotest.test_case "combine_parallel matches combine" `Quick
+      test_combine_parallel_matches_combine;
+    Alcotest.test_case "sample_shots is independent of the pool size" `Quick
+      test_sample_shots_pool_independent;
+    Alcotest.test_case "sample_shots edge cases" `Quick test_sample_shots_edges;
+    Alcotest.test_case "worker allocation failure is a structured error"
+      `Quick test_worker_alloc_failure_is_structured;
+    Alcotest.test_case "auditor is clean after a parallel run" `Quick
+      test_audit_passes_after_parallel_run;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_parallel_run_matches ]
