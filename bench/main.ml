@@ -1126,6 +1126,17 @@ let parallel_run_json ~circuit_name ~k ~domains circuit =
   let engine, t3 = one () in
   let seconds = min t1 (min t2 t3) in
   let stats = Dd_sim.Engine.stats engine in
+  (* concurrency section (last repetition only): pool utilization from
+     Sim_stats plus lock contention summed over every lockable shared
+     structure.  pool_* / lock_* leaves are the bench-check
+     "informational" class — recorded, never gated. *)
+  let lock_acq, lock_cont, lock_wait =
+    List.fold_left
+      (fun (a, c, w) (_, (l : Dd.Compute_table.lock_stats)) ->
+        (a + l.acquisitions, c + l.contended, w +. l.wait_seconds))
+      (0, 0, 0.)
+      (Dd.Context.lock_stats (Dd_sim.Engine.context engine))
+  in
   ( seconds,
     Printf.sprintf
       "    {\n\
@@ -1135,14 +1146,30 @@ let parallel_run_json ~circuit_name ~k ~domains circuit =
        \      \"wall_seconds\": %.6f,\n\
        \      \"final_state_nodes\": %d,\n\
        \      \"mat_mat_mults\": %d,\n\
-       \      \"combined_applications\": %d\n\
+       \      \"combined_applications\": %d,\n\
+       \      \"parallel\": {\n\
+       \        \"pool_batches\": %d,\n\
+       \        \"pool_tasks\": %d,\n\
+       \        \"pool_busy_seconds\": %.6f,\n\
+       \        \"pool_idle_seconds\": %.6f,\n\
+       \        \"pool_section_seconds\": %.6f,\n\
+       \        \"lock_acquisitions\": %d,\n\
+       \        \"lock_contended\": %d,\n\
+       \        \"lock_wait_seconds\": %.6f\n\
+       \      }\n\
        \    }"
       circuit_name
       (Dd_sim.Strategy.to_string (Dd_sim.Strategy.K_operations k))
       domains seconds
       (Dd_sim.Engine.state_node_count engine)
       stats.Dd_sim.Sim_stats.mat_mat_mults
-      stats.Dd_sim.Sim_stats.combined_applications )
+      stats.Dd_sim.Sim_stats.combined_applications
+      stats.Dd_sim.Sim_stats.pool_batches
+      stats.Dd_sim.Sim_stats.pool_tasks
+      stats.Dd_sim.Sim_stats.pool_busy_seconds
+      stats.Dd_sim.Sim_stats.pool_idle_seconds
+      stats.Dd_sim.Sim_stats.pool_section_seconds
+      lock_acq lock_cont lock_wait )
 
 let parallel_bench ~smoke () =
   let out =

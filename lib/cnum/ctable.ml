@@ -10,7 +10,31 @@ type t = {
      already-tagged weight — never reaches the lock. *)
   lock : Mutex.t;
   mutable parallel : bool;
+  (* contention counters, mutated only while holding [lock] *)
+  mutable lock_acquisitions : int;
+  mutable lock_contended : int;
+  mutable lock_wait : float;
+  wait_buckets : int array;
 }
+
+(* Mirror of [Dd.Compute_table.lock_stats] (this library sits below
+   [dd], so the shape is duplicated rather than shared). *)
+type lock_stats = {
+  acquisitions : int;
+  contended : int;
+  wait_seconds : float;
+  wait_buckets : int array;
+}
+
+let hist_buckets = 64
+
+(* local copy of Obs.Metrics.bucket_exponent: bucket [e] holds values in
+   [2^(e-1), 2^e), clamped to [-32, 31] *)
+let bucket_exponent v =
+  if v <= 0. then -32
+  else
+    let _, e = Float.frexp v in
+    if e < -32 then -32 else if e > 31 then 31 else e
 
 let zero_tag = 0
 let one_tag = 1
@@ -31,6 +55,10 @@ let create ?(tolerance = 1e-12) () =
       next_tag = 2;
       lock = Mutex.create ();
       parallel = false;
+      lock_acquisitions = 0;
+      lock_contended = 0;
+      lock_wait = 0.;
+      wait_buckets = Array.make hist_buckets 0;
     }
   in
   add_entry table (bucket_key table Cnum.zero) Cnum.zero;
@@ -77,7 +105,20 @@ let intern_locked table z =
 let intern table z =
   if Cnum.tag z >= 0 then z
   else if table.parallel then begin
-    Mutex.lock table.lock;
+    (* contention-instrumented acquisition: try_lock success is the
+       uncontended path; a failure times the blocking wait *)
+    if Mutex.try_lock table.lock then
+      table.lock_acquisitions <- table.lock_acquisitions + 1
+    else begin
+      let t0 = Unix.gettimeofday () in
+      Mutex.lock table.lock;
+      let wait = Float.max 0. (Unix.gettimeofday () -. t0) in
+      table.lock_acquisitions <- table.lock_acquisitions + 1;
+      table.lock_contended <- table.lock_contended + 1;
+      table.lock_wait <- table.lock_wait +. wait;
+      let b = bucket_exponent wait + 32 in
+      table.wait_buckets.(b) <- table.wait_buckets.(b) + 1
+    end;
     match intern_locked table z with
     | canonical ->
       Mutex.unlock table.lock;
@@ -89,3 +130,17 @@ let intern table z =
   else intern_locked table z
 
 let size table = table.next_tag
+
+let lock_stats table =
+  {
+    acquisitions = table.lock_acquisitions;
+    contended = table.lock_contended;
+    wait_seconds = table.lock_wait;
+    wait_buckets = Array.copy table.wait_buckets;
+  }
+
+let reset_lock_stats table =
+  table.lock_acquisitions <- 0;
+  table.lock_contended <- 0;
+  table.lock_wait <- 0.;
+  Array.fill table.wait_buckets 0 hist_buckets 0

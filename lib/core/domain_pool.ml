@@ -21,6 +21,13 @@ type batch = {
   left : int Atomic.t;  (* tasks not yet completed *)
 }
 
+type stats = {
+  batches : int;
+  section_seconds : float;
+  worker_tasks : int array;
+  worker_busy_seconds : float array;
+}
+
 type t = {
   mutable workers : unit Domain.t array;
   lock : Mutex.t;
@@ -31,16 +38,38 @@ type t = {
      spin re-grabbing the same still-completing batch *)
   mutable generation : int;
   mutable stopping : bool;
+  (* utilization accounting, one slot per crew member (caller is slot 0).
+     Each slot is written only by its own domain while a batch runs and
+     read only at quiescence, so plain mutation is safe. *)
+  mutable batches : int;
+  mutable section_seconds : float;
+  tasks_run : int array;
+  busy_seconds : float array;
 }
 
+(* Crew index of the executing domain: 0 for the pool's caller, [i + 1]
+   for worker [i].  Defaults to 0, so code running outside any pool (or
+   on the caller) reads 0 without registration. *)
+let self_index_key = Domain.DLS.new_key (fun () -> 0)
+let self_index () = Domain.DLS.get self_index_key
+
 let drain pool batch =
+  let slot = self_index () in
   let n = Array.length batch.tasks in
   let continue = ref true in
   while !continue do
     let i = Atomic.fetch_and_add batch.next 1 in
     if i >= n then continue := false
     else begin
+      let t0 = Unix.gettimeofday () in
       (try batch.tasks.(i) () with _ -> ());
+      (* flush accounting before signalling completion, and regardless of
+         whether the task raised: a faulted run must still report the
+         time its crew actually spent *)
+      pool.busy_seconds.(slot) <-
+        pool.busy_seconds.(slot)
+        +. Float.max 0. (Unix.gettimeofday () -. t0);
+      pool.tasks_run.(slot) <- pool.tasks_run.(slot) + 1;
       if Atomic.fetch_and_add batch.left (-1) = 1 then begin
         (* last task of the batch: retire it and wake the gatherer *)
         Mutex.lock pool.lock;
@@ -51,7 +80,8 @@ let drain pool batch =
     end
   done
 
-let worker_loop pool =
+let worker_loop pool index =
+  Domain.DLS.set self_index_key index;
   let served = ref 0 in
   let running = ref true in
   while !running do
@@ -85,14 +115,32 @@ let create ~domains =
       current = None;
       generation = 0;
       stopping = false;
+      batches = 0;
+      section_seconds = 0.;
+      tasks_run = Array.make domains 0;
+      busy_seconds = Array.make domains 0.;
     }
   in
   pool.workers <-
-    Array.init (domains - 1) (fun _ ->
-        Domain.spawn (fun () -> worker_loop pool));
+    Array.init (domains - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop pool (i + 1)));
   pool
 
 let size pool = Array.length pool.workers + 1
+
+let stats pool =
+  {
+    batches = pool.batches;
+    section_seconds = pool.section_seconds;
+    worker_tasks = Array.copy pool.tasks_run;
+    worker_busy_seconds = Array.copy pool.busy_seconds;
+  }
+
+let reset_stats pool =
+  pool.batches <- 0;
+  pool.section_seconds <- 0.;
+  Array.fill pool.tasks_run 0 (Array.length pool.tasks_run) 0;
+  Array.fill pool.busy_seconds 0 (Array.length pool.busy_seconds) 0.
 
 let run_all pool thunks =
   let n = Array.length thunks in
@@ -106,6 +154,7 @@ let run_all pool thunks =
         thunks
     in
     let batch = { tasks; next = Atomic.make 0; left = Atomic.make n } in
+    let t0 = Unix.gettimeofday () in
     Mutex.lock pool.lock;
     assert (pool.current = None);
     pool.current <- Some batch;
@@ -120,6 +169,9 @@ let run_all pool thunks =
       Condition.wait pool.work_done pool.lock
     done;
     Mutex.unlock pool.lock;
+    pool.batches <- pool.batches + 1;
+    pool.section_seconds <-
+      pool.section_seconds +. Float.max 0. (Unix.gettimeofday () -. t0);
     results
   end
 

@@ -9,6 +9,18 @@
 
 type t
 
+type stats = {
+  batches : int;  (** {!run_all} sections completed *)
+  section_seconds : float;
+      (** wall time spent inside {!run_all}, scatter to gather *)
+  worker_tasks : int array;
+      (** tasks executed per crew member; slot 0 is the caller *)
+  worker_busy_seconds : float array;
+      (** time spent running tasks per crew member, same indexing.
+          Flushed even for tasks that raised, so a faulted run still
+          reports the time its crew actually spent. *)
+}
+
 val create : domains:int -> t
 (** Spawn a pool of [domains - 1] worker domains (the calling domain is
     the remaining crew member, so [domains = 1] spawns nothing and
@@ -27,6 +39,19 @@ val run_all : t -> (unit -> 'a) array -> ('a, exn) result array
     able to kill a worker domain.  Not reentrant: tasks must not call
     {!run_all} on the same pool, and only one domain may act as the
     caller at a time. *)
+
+val self_index : unit -> int
+(** Crew index of the calling domain: [0] for the pool's caller (and for
+    any domain that is not a pool worker), [i + 1] for worker [i].
+    Tasks use this to pick a private per-domain resource — e.g. the
+    trace lane they may append to — without any synchronisation. *)
+
+val stats : t -> stats
+(** Utilization counters accumulated since creation (or the last
+    {!reset_stats}).  Read only at quiescence — never while a
+    {!run_all} batch is in flight. *)
+
+val reset_stats : t -> unit
 
 val shutdown : t -> unit
 (** Stop and join every worker domain.  Idempotent.  Must not be called

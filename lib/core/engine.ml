@@ -442,8 +442,31 @@ let combine engine gates =
    interning for the duration; stats stay main-domain-only (workers run
    pure [Mdd.mul]).  A task that raises surfaces as a structured
    {!Error.Worker_failure}; worker domains themselves never die. *)
+(* Fold a pool's utilization counters into the run stats — call only at
+   quiescence, just before the pool is shut down.  Idle time is the crew
+   capacity inside pool sections not spent running tasks (waiting on the
+   scatter cursor or on stragglers), clamped at zero against clock
+   jitter. *)
+let absorb_pool_stats engine pool =
+  let s = Domain_pool.stats pool in
+  let crew = Domain_pool.size pool in
+  let busy = Array.fold_left ( +. ) 0. s.Domain_pool.worker_busy_seconds in
+  let tasks = Array.fold_left ( + ) 0 s.Domain_pool.worker_tasks in
+  let stats = engine.stats in
+  stats.pool_batches <- stats.pool_batches + s.Domain_pool.batches;
+  stats.pool_tasks <- stats.pool_tasks + tasks;
+  stats.pool_busy_seconds <- stats.pool_busy_seconds +. busy;
+  stats.pool_idle_seconds <-
+    stats.pool_idle_seconds
+    +. Float.max 0.
+         ((s.Domain_pool.section_seconds *. float_of_int crew) -. busy);
+  stats.pool_section_seconds <-
+    stats.pool_section_seconds +. s.Domain_pool.section_seconds
+
 let reduce_window engine pool mats =
   let ctx = engine.context in
+  let trace = engine.trace in
+  let traced = Obs.Trace.is_on trace in
   let value = function
     | Ok v -> v
     | Error e ->
@@ -451,10 +474,57 @@ let reduce_window engine pool mats =
         (Error.Worker_failure
            { task = "window product"; message = Printexc.to_string e })
   in
-  let par thunks = Array.map value (Domain_pool.run_all pool thunks) in
+  (* Worker-side tracing: each task logs its multiplication as a
+     [Mat_mat] span on the executing crew member's private lane
+     (including the caller, lane 0), so nothing touches the shared
+     buffer until [merge_lanes] below runs at quiescence. *)
+  let task_mul detail a b () =
+    if not traced then Dd.Mdd.mul ctx a b
+    else begin
+      let lane = Obs.Trace.lane trace (Domain_pool.self_index ()) in
+      let t0 = Obs.Trace.now lane in
+      let r = Dd.Mdd.mul ctx a b in
+      Obs.Trace.span lane Obs.Trace.Mat_mat ~t0 ~gate:(Obs.Trace.gate lane)
+        ~state_nodes:(-1)
+        ~matrix_nodes:(Dd.Mdd.node_count r)
+        ~hits:0 ~misses:0 ~detail;
+      r
+    end
+  in
+  let par thunks =
+    let thunks =
+      if not traced then thunks
+      else
+        Array.map
+          (fun thunk () ->
+            let lane = Obs.Trace.lane trace (Domain_pool.self_index ()) in
+            let t0 = Obs.Trace.now lane in
+            let r = thunk () in
+            Obs.Trace.span lane Obs.Trace.Mat_mat ~t0
+              ~gate:(Obs.Trace.gate lane) ~state_nodes:(-1) ~matrix_nodes:(-1)
+              ~hits:0 ~misses:0 ~detail:"mul_par inner product";
+            r)
+          thunks
+    in
+    Array.map value (Domain_pool.run_all pool thunks)
+  in
+  if traced then Obs.Trace.arm_lanes trace (Domain_pool.size pool);
+  let section_t0 = if traced then Obs.Trace.now trace else 0. in
   Dd.Context.set_parallel ctx true;
   Fun.protect
-    ~finally:(fun () -> Dd.Context.set_parallel ctx false)
+    ~finally:(fun () ->
+      Dd.Context.set_parallel ctx false;
+      if traced then begin
+        (* merge before the section span so buffer end times stay
+           monotone: the section ends after every lane event it covers *)
+        Obs.Trace.merge_lanes trace;
+        Obs.Trace.span trace Obs.Trace.Pool_section ~t0:section_t0
+          ~gate:(Obs.Trace.gate trace) ~state_nodes:(-1) ~matrix_nodes:(-1)
+          ~hits:0 ~misses:0
+          ~detail:
+            (Printf.sprintf "window reduce, %d matrices, %d domains"
+               (List.length mats) (Domain_pool.size pool))
+      end)
     (fun () ->
       let rec reduce mats =
         match mats with
@@ -468,8 +538,8 @@ let reduce_window engine pool mats =
           let n = Array.length arr in
           let pairs = n / 2 in
           let tasks =
-            Array.init pairs (fun i () ->
-                Dd.Mdd.mul ctx arr.(2 * i) arr.((2 * i) + 1))
+            Array.init pairs (fun i ->
+                task_mul "window pair" arr.(2 * i) arr.((2 * i) + 1))
           in
           let products = Array.map value (Domain_pool.run_all pool tasks) in
           engine.stats.mat_mat_mults <- engine.stats.mat_mat_mults + pairs;
@@ -489,7 +559,9 @@ let combine_parallel engine mats =
   | mats ->
     let pool = Domain_pool.create ~domains:engine.domains in
     Fun.protect
-      ~finally:(fun () -> Domain_pool.shutdown pool)
+      ~finally:(fun () ->
+        absorb_pool_stats engine pool;
+        Domain_pool.shutdown pool)
       (fun () -> reduce_window engine pool (List.rev mats))
 
 (* Window-combination driver shared by the k-operations and max-size
@@ -916,7 +988,11 @@ let run ?(strategy = Strategy.Sequential) ?(use_repeating = false)
     ~finally:(fun () ->
       (* pool teardown before anything else: no leaked domains, and the
          shared tables are guaranteed quiescent past this point *)
-      (match pool with Some p -> Domain_pool.shutdown p | None -> ());
+      (match pool with
+      | Some p ->
+        absorb_pool_stats engine p;
+        Domain_pool.shutdown p
+      | None -> ());
       engine.stats.wall_time_seconds <-
         engine.stats.wall_time_seconds +. (Obs.Clock.now () -. run_t0);
       if traced then
@@ -1003,14 +1079,40 @@ let sample_shots engine shots =
     Array.init shots (fun i -> run_shot seeds.(i))
   else begin
     let pool = Domain_pool.create ~domains:(min engine.domains shots) in
+    let trace = engine.trace in
+    let traced = Obs.Trace.is_on trace in
+    if traced then Obs.Trace.arm_lanes trace (Domain_pool.size pool);
+    let section_t0 = if traced then Obs.Trace.now trace else 0. in
     Fun.protect
       ~finally:(fun () ->
+        absorb_pool_stats engine pool;
         Domain_pool.shutdown pool;
-        Dd.Context.set_parallel ctx false)
+        Dd.Context.set_parallel ctx false;
+        if traced then begin
+          Obs.Trace.merge_lanes trace;
+          Obs.Trace.span trace Obs.Trace.Pool_section ~t0:section_t0
+            ~gate:(Obs.Trace.gate trace) ~state_nodes:(-1) ~matrix_nodes:(-1)
+            ~hits:0 ~misses:0
+            ~detail:
+              (Printf.sprintf "multi-shot sampling, %d shots, %d domains"
+                 shots (Domain_pool.size pool))
+        end)
       (fun () ->
         Dd.Context.set_parallel ctx true;
         let thunks =
-          Array.init shots (fun i () -> run_shot seeds.(i))
+          if not traced then
+            Array.init shots (fun i () -> run_shot seeds.(i))
+          else
+            Array.init shots (fun i () ->
+                let lane =
+                  Obs.Trace.lane trace (Domain_pool.self_index ())
+                in
+                let t0 = Obs.Trace.now lane in
+                let outcome = run_shot seeds.(i) in
+                Obs.Trace.span lane Obs.Trace.Measure ~t0 ~gate:(-1)
+                  ~state_nodes:(-1) ~matrix_nodes:(-1) ~hits:0 ~misses:0
+                  ~detail:(Printf.sprintf "shot %d" i);
+                outcome)
         in
         Array.map
           (function

@@ -71,8 +71,8 @@ let check_trace ~path text =
     | Some detail -> fail ~path ~family:"trace" detail
     | None ->
       pass ~path ~family:"trace"
-        (Printf.sprintf "%d events%s" (List.length events)
-           (no_trailer_note text)))
+        (Printf.sprintf "%d events, schema v%d%s" (List.length events)
+           run.Obs.Trace_report.version (no_trailer_note text)))
   | exception Failure message -> fail ~path ~family:"trace" message
 
 let check_profile ~path text =

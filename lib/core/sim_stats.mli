@@ -62,6 +62,23 @@ type t = {
       (** domain-pool size the run was configured with ([--domains]);
           [1] = sequential.  Persisted in checkpoints (format v7) so a
           resumed run keeps its pool size. *)
+  mutable pool_batches : int;
+      (** domain-pool scatter/gather sections completed; [0] when the run
+          never fanned out.  The pool-utilization family
+          ([pool_batches .. pool_section_seconds]) is absorbed from
+          {!Domain_pool.stats} at quiescence, is inherently
+          nondeterministic (scheduling-dependent), and is {e not}
+          persisted in checkpoints. *)
+  mutable pool_tasks : int;
+      (** tasks executed across all crew members *)
+  mutable pool_busy_seconds : float;
+      (** summed per-crew-member time spent running tasks *)
+  mutable pool_idle_seconds : float;
+      (** [section_seconds * crew - busy]: crew capacity inside pool
+          sections not spent on tasks (waiting on the cursor or on
+          stragglers), clamped at 0 *)
+  mutable pool_section_seconds : float;
+      (** wall time spent inside pool sections, scatter to gather *)
 }
 
 val create : unit -> t

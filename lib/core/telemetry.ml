@@ -50,6 +50,22 @@ let populate registry engine =
       set_count registry (field "evictions") s.evictions;
       set_count registry (field "entries") s.entries)
     (Dd.Context.table_stats ctx);
+  (* concurrency families: pool utilization from Sim_stats (absorbed at
+     pool teardown) and stripe-lock contention per shared structure.
+     All zero — but present — on a sequential run. *)
+  set_count registry "pool.batches" stats.Sim_stats.pool_batches;
+  set_count registry "pool.tasks" stats.Sim_stats.pool_tasks;
+  set_value registry "pool.busy_seconds" stats.Sim_stats.pool_busy_seconds;
+  set_value registry "pool.idle_seconds" stats.Sim_stats.pool_idle_seconds;
+  set_value registry "pool.section_seconds"
+    stats.Sim_stats.pool_section_seconds;
+  List.iter
+    (fun (label, (l : Dd.Compute_table.lock_stats)) ->
+      let field suffix = Printf.sprintf "lock.%s.%s" label suffix in
+      set_count registry (field "acquisitions") l.acquisitions;
+      set_count registry (field "contended") l.contended;
+      set_value registry (field "wait_seconds") l.wait_seconds)
+    (Dd.Context.lock_stats ctx);
   let gc = Dd.Context.gc_stats ctx in
   set_count registry "gc.collections" gc.Dd.Context.collections;
   set_value registry "gc.pause_seconds" gc.Dd.Context.pause_total;

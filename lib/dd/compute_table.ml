@@ -30,6 +30,10 @@ type 'v t = {
   value : 'v array;
   stamp : int array;  (* generation the entry was written / last validated *)
   locks : Mutex.t array;
+  lock_acquisitions : int array;
+  lock_contended : int array;
+  lock_wait : float array;
+  lock_wait_buckets : int array array;
   mutable parallel : bool;
   entries : int Atomic.t;
   mutable generation : int;
@@ -39,6 +43,20 @@ type 'v t = {
   evictions : int Atomic.t;
   invalidated : int Atomic.t;
 }
+
+(* Aggregated contention counters for one lock-striped structure; the
+   per-stripe counters are plain ints mutated only while holding that
+   stripe's lock, so they cost no atomics and read consistently at
+   quiescence.  [wait_buckets] is a log2 histogram of contended wait
+   times: index [e + 32] holds waits in [2^(e-1), 2^e) seconds. *)
+type lock_stats = {
+  acquisitions : int;
+  contended : int;
+  wait_seconds : float;
+  wait_buckets : int array;
+}
+
+let hist_buckets = 64
 
 type stats = {
   table : string;
@@ -71,6 +89,10 @@ let create ~name ~bits ~dummy =
     value = Array.make capacity dummy;
     stamp = Array.make capacity 0;
     locks = Array.init lock_count (fun _ -> Mutex.create ());
+    lock_acquisitions = Array.make lock_count 0;
+    lock_contended = Array.make lock_count 0;
+    lock_wait = Array.make lock_count 0.;
+    lock_wait_buckets = Array.init lock_count (fun _ -> Array.make hist_buckets 0);
     parallel = false;
     entries = Atomic.make 0;
     generation = 0;
@@ -110,18 +132,38 @@ let probe (t : 'v t) i k1 k2 k3 =
   end
   else None
 
+(* Contention-instrumented acquisition: a [try_lock] success is the
+   uncontended path; a failure counts as contended and times the
+   blocking wait.  Runs only when [parallel] is armed, so [--domains 1]
+   stays lock- and allocation-free. *)
+let lock_stripe (t : _ t) s =
+  let lock = t.locks.(s) in
+  if Mutex.try_lock lock then
+    t.lock_acquisitions.(s) <- t.lock_acquisitions.(s) + 1
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Mutex.lock lock;
+    let wait = Float.max 0. (Unix.gettimeofday () -. t0) in
+    t.lock_acquisitions.(s) <- t.lock_acquisitions.(s) + 1;
+    t.lock_contended.(s) <- t.lock_contended.(s) + 1;
+    t.lock_wait.(s) <- t.lock_wait.(s) +. wait;
+    let b = Obs.Metrics.bucket_exponent wait + 32 in
+    let h = t.lock_wait_buckets.(s) in
+    h.(b) <- h.(b) + 1
+  end
+
 let find (t : 'v t) ~k1 ~k2 ~k3 =
   Atomic.incr t.lookups;
   let i = slot t k1 k2 k3 in
   if t.parallel then begin
-    let lock = t.locks.(i land lock_mask) in
-    Mutex.lock lock;
+    let s = i land lock_mask in
+    lock_stripe t s;
     match probe t i k1 k2 k3 with
     | r ->
-      Mutex.unlock lock;
+      Mutex.unlock t.locks.(s);
       r
     | exception e ->
-      Mutex.unlock lock;
+      Mutex.unlock t.locks.(s);
       raise e
   end
   else probe t i k1 k2 k3
@@ -144,10 +186,10 @@ let write (t : 'v t) i k1 k2 k3 v =
 let store (t : 'v t) ~k1 ~k2 ~k3 v =
   let i = slot t k1 k2 k3 in
   if t.parallel then begin
-    let lock = t.locks.(i land lock_mask) in
-    Mutex.lock lock;
+    let s = i land lock_mask in
+    lock_stripe t s;
     write t i k1 k2 k3 v;
-    Mutex.unlock lock
+    Mutex.unlock t.locks.(s)
   end
   else write t i k1 k2 k3 v
 
@@ -187,6 +229,30 @@ let reset_counters (t : _ t) =
   Atomic.set t.stores 0;
   Atomic.set t.evictions 0;
   Atomic.set t.invalidated 0
+
+let lock_stats (t : _ t) =
+  let buckets = Array.make hist_buckets 0 in
+  let acq = ref 0 and cont = ref 0 and wait = ref 0. in
+  for s = 0 to lock_count - 1 do
+    acq := !acq + t.lock_acquisitions.(s);
+    cont := !cont + t.lock_contended.(s);
+    wait := !wait +. t.lock_wait.(s);
+    Array.iteri
+      (fun b n -> buckets.(b) <- buckets.(b) + n)
+      t.lock_wait_buckets.(s)
+  done;
+  {
+    acquisitions = !acq;
+    contended = !cont;
+    wait_seconds = !wait;
+    wait_buckets = buckets;
+  }
+
+let reset_lock_stats (t : _ t) =
+  Array.fill t.lock_acquisitions 0 lock_count 0;
+  Array.fill t.lock_contended 0 lock_count 0;
+  Array.fill t.lock_wait 0 lock_count 0.;
+  Array.iter (fun h -> Array.fill h 0 hist_buckets 0) t.lock_wait_buckets
 
 let stats (t : 'v t) : stats =
   let lookups = Atomic.get t.lookups and hits = Atomic.get t.hits in

@@ -157,6 +157,48 @@ let table_stats ctx =
     Compute_table.stats ctx.max_mag;
   ]
 
+(* Stripe-lock contention, one entry per lockable shared structure.  The
+   Ctable record is mirrored (dd_complex sits below dd), so convert it
+   here into the shared shape. *)
+let lock_stats ctx =
+  let of_ctable (s : Ctable.lock_stats) =
+    {
+      Compute_table.acquisitions = s.Ctable.acquisitions;
+      contended = s.Ctable.contended;
+      wait_seconds = s.Ctable.wait_seconds;
+      wait_buckets = s.Ctable.wait_buckets;
+    }
+  in
+  let table t = (Compute_table.name t, Compute_table.lock_stats t) in
+  [
+    ("cnum", of_ctable (Ctable.lock_stats ctx.ctable));
+    ("unique_v", Hashcons.V.lock_stats ctx.v_unique);
+    ("unique_m", Hashcons.M.lock_stats ctx.m_unique);
+    table ctx.add_v;
+    table ctx.add_m;
+    table ctx.mul_mv;
+    table ctx.mul_mm;
+    table ctx.apply_v;
+    table ctx.dot;
+    table ctx.adjoint;
+    table ctx.norm;
+    table ctx.max_mag;
+  ]
+
+let reset_lock_stats ctx =
+  Ctable.reset_lock_stats ctx.ctable;
+  Hashcons.V.reset_lock_stats ctx.v_unique;
+  Hashcons.M.reset_lock_stats ctx.m_unique;
+  Compute_table.reset_lock_stats ctx.add_v;
+  Compute_table.reset_lock_stats ctx.add_m;
+  Compute_table.reset_lock_stats ctx.mul_mv;
+  Compute_table.reset_lock_stats ctx.mul_mm;
+  Compute_table.reset_lock_stats ctx.apply_v;
+  Compute_table.reset_lock_stats ctx.dot;
+  Compute_table.reset_lock_stats ctx.adjoint;
+  Compute_table.reset_lock_stats ctx.norm;
+  Compute_table.reset_lock_stats ctx.max_mag
+
 let gc_stats ctx = ctx.gc
 let apply_skips ctx = ctx.apply_skips
 let note_apply_skip ctx = ctx.apply_skips <- ctx.apply_skips + 1

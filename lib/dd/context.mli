@@ -102,6 +102,15 @@ val live_m_nodes : t -> int
 val table_stats : t -> Compute_table.stats list
 (** Hit/miss/eviction counters of every compute table, in a fixed order. *)
 
+val lock_stats : t -> (string * Compute_table.lock_stats) list
+(** Stripe-lock contention counters of every lockable shared structure,
+    labelled: ["cnum"] (the canonical weight table), ["unique_v"] /
+    ["unique_m"] (the hash-cons tables), then one entry per compute
+    table under its {!Compute_table.name}.  Counters only advance while
+    {!set_parallel} is armed; read at quiescence. *)
+
+val reset_lock_stats : t -> unit
+
 val gc_stats : t -> gc_stats
 
 val apply_skips : t -> int

@@ -64,6 +64,11 @@ module type S = sig
 
   val set_parallel : t -> bool -> unit
   val per_level_counts : t -> levels:int -> int array
+
+  (* Aggregated stripe-lock contention counters (see
+     Compute_table.lock_stats); read at quiescence. *)
+  val lock_stats : t -> Compute_table.lock_stats
+  val reset_lock_stats : t -> unit
 end
 
 module Make (N : NODE) :
@@ -73,6 +78,11 @@ module Make (N : NODE) :
 
   type stripe = {
     lock : Mutex.t;
+    (* contention counters, mutated only while holding [lock] *)
+    mutable lock_acquisitions : int;
+    mutable lock_contended : int;
+    mutable lock_wait : float;
+    wait_buckets : int array;
     mutable slots : N.node array; (* N.terminal (id 0) marks empty *)
     mutable mask : int;
     mutable entries : int;
@@ -105,6 +115,10 @@ module Make (N : NODE) :
         Array.init stripe_count (fun _ ->
             {
               lock = Mutex.create ();
+              lock_acquisitions = 0;
+              lock_contended = 0;
+              lock_wait = 0.;
+              wait_buckets = Array.make Compute_table.hist_buckets 0;
               slots = Array.make capacity N.terminal;
               mask = capacity - 1;
               entries = 0;
@@ -269,7 +283,20 @@ module Make (N : NODE) :
       let s = stripe_of t h in
       let node =
         if t.parallel then begin
-          Mutex.lock s.lock;
+          (* contention-instrumented acquisition: try_lock success is
+             the uncontended path; a failure times the blocking wait *)
+          if Mutex.try_lock s.lock then
+            s.lock_acquisitions <- s.lock_acquisitions + 1
+          else begin
+            let t0 = Unix.gettimeofday () in
+            Mutex.lock s.lock;
+            let wait = Float.max 0. (Unix.gettimeofday () -. t0) in
+            s.lock_acquisitions <- s.lock_acquisitions + 1;
+            s.lock_contended <- s.lock_contended + 1;
+            s.lock_wait <- s.lock_wait +. wait;
+            let b = Obs.Metrics.bucket_exponent wait + 32 in
+            s.wait_buckets.(b) <- s.wait_buckets.(b) + 1
+          end;
           match find_or_insert t s ~level ~h children with
           | node ->
             Mutex.unlock s.lock;
@@ -298,6 +325,32 @@ module Make (N : NODE) :
       else i := (!i + 1) land s.mask
     done;
     !result
+
+  let lock_stats t =
+    let buckets = Array.make Compute_table.hist_buckets 0 in
+    let acq = ref 0 and cont = ref 0 and wait = ref 0. in
+    Array.iter
+      (fun s ->
+        acq := !acq + s.lock_acquisitions;
+        cont := !cont + s.lock_contended;
+        wait := !wait +. s.lock_wait;
+        Array.iteri (fun b n -> buckets.(b) <- buckets.(b) + n) s.wait_buckets)
+      t.stripes;
+    {
+      Compute_table.acquisitions = !acq;
+      contended = !cont;
+      wait_seconds = !wait;
+      wait_buckets = buckets;
+    }
+
+  let reset_lock_stats t =
+    Array.iter
+      (fun s ->
+        s.lock_acquisitions <- 0;
+        s.lock_contended <- 0;
+        s.lock_wait <- 0.;
+        Array.fill s.wait_buckets 0 (Array.length s.wait_buckets) 0)
+      t.stripes
 
   let prune t ~keep =
     let removed = ref 0 in

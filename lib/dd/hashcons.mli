@@ -64,6 +64,13 @@ module type S = sig
       incrementally on insert and rebuilt on {!prune} — O(levels), not a
       DD walk.  Counts nodes in the unique table, which between GC
       sweeps is a superset of any single root's reachable set. *)
+
+  val lock_stats : t -> Compute_table.lock_stats
+  (** Stripe-lock contention counters aggregated over the 16 stripes
+      (counted only while {!set_parallel} is armed).  Read at
+      quiescence. *)
+
+  val reset_lock_stats : t -> unit
 end
 
 module Make (N : NODE) : S with type node = N.node and type edge = N.edge

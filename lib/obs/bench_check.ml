@@ -12,7 +12,7 @@ type finding = { severity : severity; path : string; message : string }
 
 (* -- metric classification ------------------------------------------- *)
 
-type metric_class = Time | Rate | Count
+type metric_class = Time | Rate | Count | Informational
 
 let contains_sub text sub =
   let n = String.length text and m = String.length sub in
@@ -23,8 +23,17 @@ let ends_with text suffix =
   let n = String.length text and m = String.length suffix in
   n >= m && String.sub text (n - m) m = suffix
 
+let starts_with text prefix =
+  let n = String.length text and m = String.length prefix in
+  n >= m && String.sub text 0 m = prefix
+
+(* The informational check must come first: contention and utilization
+   metrics are scheduling-dependent (a "pool_busy_seconds" leaf would
+   otherwise classify as Time and gate on a 10x ratio that an unloaded
+   CI runner trips freely). *)
 let classify name =
-  if contains_sub name "seconds" || contains_sub name "time" then Time
+  if starts_with name "pool_" || starts_with name "lock_" then Informational
+  else if contains_sub name "seconds" || contains_sub name "time" then Time
   else if ends_with name "_rate" then Rate
   else Count
 
@@ -89,6 +98,9 @@ let compare_docs ?(tol = default) ~baseline candidate =
         push Regression path
           (Printf.sprintf "count moved: %g -> %g (tolerance %.0f%% of %g)"
              base value (tol.count_ratio *. 100.) base)
+    | Informational ->
+      (* nondeterministic by nature: never gated, never even noted *)
+      ()
   in
   let rec walk path baseline candidate =
     match (baseline, candidate) with

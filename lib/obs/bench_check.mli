@@ -8,6 +8,12 @@
     and candidate in lockstep, pairing runs (and nested table entries) by
     their identity fields, and classifies every numeric metric by name:
 
+    - {e informational} metrics ([pool_*] / [lock_*] leaves): contention
+      and pool-utilization counters are scheduling-dependent and
+      nondeterministic from run to run, so they are recorded in the
+      documents but never compared — no tolerance, no finding.  Checked
+      before the other classes ([pool_busy_seconds] would otherwise
+      classify as a time metric);
     - {e time} metrics ([*seconds*]): noisy across machines — a candidate
       may regress by at most [time_ratio] times the baseline; faster
       always passes;

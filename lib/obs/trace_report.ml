@@ -34,6 +34,7 @@ let parse_event json =
     matrix_nodes = field json "matrix_nodes" ~default:(-1);
     hits = field json "hits" ~default:0;
     misses = field json "misses" ~default:0;
+    domain = field json "domain" ~default:0;
     detail;
   }
 
@@ -81,10 +82,12 @@ let parse_jsonl text =
       | Some (Json.Num v) -> int_of_float v
       | _ -> located header_line "header line is missing \"version\""
     in
-    if version <> Trace_export.version then
+    (* v1 (single-lane, no [domain] field) still parses: every v2
+       addition is optional-with-default at the event level *)
+    if version < 1 || version > Trace_export.version then
       located header_line
-        (Printf.sprintf "unsupported schema version %d (expected %d)" version
-           Trace_export.version);
+        (Printf.sprintf "unsupported schema version %d (expected 1..%d)"
+           version Trace_export.version);
     let meta =
       match Json.member header "meta" with
       | Some (Json.Obj fields) ->
@@ -144,8 +147,9 @@ let kind_order = function
   | Trace.Measure -> 8
   | Trace.Audit -> 9
   | Trace.Reorder -> 10
+  | Trace.Pool_section -> 11
 
-let phases run =
+let phases_of_events events =
   let acc = Hashtbl.create 16 in
   List.iter
     (fun (e : Trace.event) ->
@@ -156,7 +160,7 @@ let phases run =
       in
       Hashtbl.replace acc e.kind
         (count + 1, total +. e.dur, Float.max max_d e.dur))
-    run.events;
+    events;
   Hashtbl.fold
     (fun kind (count, total, max_d) out ->
       {
@@ -169,6 +173,42 @@ let phases run =
       :: out)
     acc []
   |> List.sort (fun a b -> compare (kind_order a.kind) (kind_order b.kind))
+
+let phases run = phases_of_events run.events
+
+(* -- concurrency view -------------------------------------------------- *)
+
+let lane_phases run =
+  let domains =
+    List.sort_uniq compare
+      (List.map (fun (e : Trace.event) -> e.domain) run.events)
+  in
+  List.map
+    (fun d ->
+      ( d,
+        phases_of_events
+          (List.filter (fun (e : Trace.event) -> e.domain = d) run.events) ))
+    domains
+
+(* Amdahl view: wall time inside pool sections vs. the traced total.
+   [None] when the trace has no [pool_section] spans (sequential run or
+   pre-v2 writer). *)
+let serial_fraction run =
+  let pool, span_end =
+    List.fold_left
+      (fun (pool, span_end) (e : Trace.event) ->
+        ( (if e.kind = Trace.Pool_section then pool +. e.dur else pool),
+          Float.max span_end (e.t +. e.dur) ))
+      (0., 0.) run.events
+  in
+  if
+    span_end <= 0.
+    || not
+         (List.exists
+            (fun (e : Trace.event) -> e.kind = Trace.Pool_section)
+            run.events)
+  then None
+  else Some (Float.max 0. (span_end -. pool) /. span_end)
 
 (* terminal-friendly plot: 12 rows of '#' columns over <= 72 buckets *)
 let plot_width = 72
@@ -229,8 +269,7 @@ let render run =
   Buffer.add_string buffer
     (Printf.sprintf "events: %d (%d dropped at capture time)\n"
        (List.length run.events) run.dropped);
-  let ps = phases run in
-  if ps <> [] then begin
+  let phase_table ps =
     Buffer.add_string buffer
       (Printf.sprintf "\n%-16s %8s %12s %12s %12s\n" "phase" "count"
          "total(ms)" "mean(us)" "max(us)");
@@ -244,7 +283,32 @@ let render run =
              (p.mean_seconds *. 1e6)
              (p.max_seconds *. 1e6)))
       ps
+  in
+  let ps = phases run in
+  if ps <> [] then phase_table ps;
+  (* concurrency view: rendered only when the trace actually carries
+     parallel data, so v1 single-lane reports stay byte-identical *)
+  let multi_lane =
+    List.exists (fun (e : Trace.event) -> e.domain > 0) run.events
+  in
+  if multi_lane then begin
+    List.iter
+      (fun (d, lane_ps) ->
+        Buffer.add_string buffer
+          (Printf.sprintf "\nlane %d%s:" d
+             (if d = 0 then " (caller)" else ""));
+        phase_table lane_ps)
+      (lane_phases run)
   end;
+  (match serial_fraction run with
+  | Some f ->
+    Buffer.add_string buffer
+      (Printf.sprintf
+         "\nestimated serial fraction: %.1f%% (pool sections cover %.1f%% \
+          of the traced span)\n"
+         (f *. 100.)
+         ((1. -. f) *. 100.))
+  | None -> ());
   let points = trajectory run in
   Buffer.add_string buffer "\nstate-DD node-count trajectory:\n";
   Buffer.add_string buffer (render_plot points);

@@ -161,6 +161,30 @@ let test_render_verdict () =
   check_bool "failed verdict mentions REGRESSION" true
     (String.length failed >= 10 && String.sub failed 0 10 = "REGRESSION")
 
+
+let test_informational_metrics_never_gate () =
+  (* pool_* / lock_* leaves are scheduling-dependent: any drift passes,
+     even wild ones, and produces no finding at all *)
+  let doc busy contended =
+    Printf.sprintf
+      "{\"runs\":[{\"name\":\"r1\",\"nodes\":5,\"parallel\":{\"pool_busy_seconds\":%g,\"pool_tasks\":%d,\"lock_contended\":%d}}]}"
+      busy (int_of_float (busy *. 100.)) contended
+  in
+  let findings = compare (doc 0.001 0) (doc 50.0 99999) in
+  check_bool "wild informational drift passes" false
+    (Obs.Bench_check.regressed findings);
+  check_bool "and produces no finding" true (findings = []);
+  (* pool_busy_seconds contains "seconds": the informational class must
+     win over the time class, so even a >10x-with-floor move passes *)
+  check_bool "informational beats the time classifier" false
+    (Obs.Bench_check.regressed (compare (doc 0.01 0) (doc 10.0 0)));
+  (* a *missing* informational metric is still a structural failure *)
+  let without =
+    "{\"runs\":[{\"name\":\"r1\",\"nodes\":5,\"parallel\":{\"pool_tasks\":1,\"lock_contended\":0}}]}"
+  in
+  check_bool "dropping an informational metric still fails" true
+    (Obs.Bench_check.regressed (compare (doc 1.0 0) without))
+
 let suite =
   [
     Alcotest.test_case "committed baselines self-compare" `Quick
@@ -182,4 +206,6 @@ let suite =
     Alcotest.test_case "parse failure is a finding" `Quick
       test_parse_failure_is_a_finding;
     Alcotest.test_case "render verdict" `Quick test_render_verdict;
+    Alcotest.test_case "informational metrics never gate" `Quick
+      test_informational_metrics_never_gate;
   ]

@@ -205,6 +205,152 @@ let test_audit_passes_after_parallel_run () =
   check_int "auditor finds no violations after concurrent interning" 0
     (Dd_sim.Engine.audit_now engine)
 
+
+(* -- utilization accounting ------------------------------------------ *)
+
+let test_pool_utilization_accounting () =
+  check_int "the caller's crew index is 0" 0 (Dd_sim.Domain_pool.self_index ());
+  let pool = Dd_sim.Domain_pool.create ~domains:3 in
+  Fun.protect
+    ~finally:(fun () -> Dd_sim.Domain_pool.shutdown pool)
+    (fun () ->
+      let indices = Array.make 24 (-1) in
+      ignore
+        (Dd_sim.Domain_pool.run_all pool
+           (Array.init 24 (fun i () ->
+                indices.(i) <- Dd_sim.Domain_pool.self_index ())));
+      Array.iteri
+        (fun i idx ->
+          check_bool
+            (Printf.sprintf "task %d ran on a crew index in [0,3)" i)
+            true
+            (idx >= 0 && idx < 3))
+        indices;
+      (* a raising task still counts toward utilization (a faulted run
+         must report the time its crew actually spent) *)
+      ignore
+        (Dd_sim.Domain_pool.run_all pool
+           [| (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) |]);
+      let s = Dd_sim.Domain_pool.stats pool in
+      check_int "batches counted" 2 s.Dd_sim.Domain_pool.batches;
+      check_int "tasks counted, including the one that raised" 27
+        (Array.fold_left ( + ) 0 s.Dd_sim.Domain_pool.worker_tasks);
+      check_int "one task slot per crew member" 3
+        (Array.length s.Dd_sim.Domain_pool.worker_tasks);
+      check_int "one busy slot per crew member" 3
+        (Array.length s.Dd_sim.Domain_pool.worker_busy_seconds);
+      check_bool "busy time is non-negative" true
+        (Array.for_all
+           (fun b -> b >= 0.)
+           s.Dd_sim.Domain_pool.worker_busy_seconds);
+      check_bool "section time is non-negative" true
+        (s.Dd_sim.Domain_pool.section_seconds >= 0.);
+      Dd_sim.Domain_pool.reset_stats pool;
+      let s = Dd_sim.Domain_pool.stats pool in
+      check_int "reset clears batches" 0 s.Dd_sim.Domain_pool.batches;
+      check_int "reset clears tasks" 0
+        (Array.fold_left ( + ) 0 s.Dd_sim.Domain_pool.worker_tasks))
+
+let test_run_absorbs_pool_stats () =
+  let circuit = Standard.random_circuit ~seed:21 ~qubits:5 ~gates:40 () in
+  let par = run_with ~domains:3 ~k:4 circuit in
+  let stats = Dd_sim.Engine.stats par in
+  check_bool "pool batches recorded" true
+    (stats.Dd_sim.Sim_stats.pool_batches > 0);
+  check_bool "pool tasks recorded" true
+    (stats.Dd_sim.Sim_stats.pool_tasks > 0);
+  check_bool "pool section time recorded" true
+    (stats.Dd_sim.Sim_stats.pool_section_seconds > 0.);
+  check_bool "busy fits inside crew capacity" true
+    (stats.Dd_sim.Sim_stats.pool_busy_seconds
+    <= (stats.Dd_sim.Sim_stats.pool_section_seconds *. 3.) +. 1e-3);
+  check_bool "idle is non-negative" true
+    (stats.Dd_sim.Sim_stats.pool_idle_seconds >= 0.);
+  (* shared tables were armed, so stripe acquisitions were counted *)
+  let total_acquisitions =
+    List.fold_left
+      (fun acc (_, (l : Dd.Compute_table.lock_stats)) ->
+        acc + l.acquisitions)
+      0
+      (Dd.Context.lock_stats (Dd_sim.Engine.context par))
+  in
+  check_bool "parallel run counts lock acquisitions" true
+    (total_acquisitions > 0)
+
+let test_sequential_run_leaves_instrumentation_dark () =
+  let circuit = Standard.random_circuit ~seed:21 ~qubits:5 ~gates:40 () in
+  let seq = run_with ~domains:1 ~k:4 circuit in
+  let stats = Dd_sim.Engine.stats seq in
+  check_int "no pool batches at domains 1" 0
+    stats.Dd_sim.Sim_stats.pool_batches;
+  check_int "no pool tasks at domains 1" 0 stats.Dd_sim.Sim_stats.pool_tasks;
+  check_bool "no pool time at domains 1" true
+    (stats.Dd_sim.Sim_stats.pool_section_seconds = 0.);
+  List.iter
+    (fun (label, (l : Dd.Compute_table.lock_stats)) ->
+      check_int
+        (Printf.sprintf "no %s lock acquisitions at domains 1" label)
+        0 l.acquisitions;
+      check_int
+        (Printf.sprintf "no %s contention at domains 1" label)
+        0 l.contended;
+      check_bool
+        (Printf.sprintf "no %s wait time at domains 1" label)
+        true
+        (l.wait_seconds = 0.))
+    (Dd.Context.lock_stats (Dd_sim.Engine.context seq))
+
+let test_sequential_table_ops_allocate_nothing () =
+  (* the stripe-lock counters are compiled into the hot find/store paths;
+     with [set_parallel] off they must cost nothing — no locks taken, no
+     allocation (the pre-instrumentation behaviour, bitwise) *)
+  let table = Dd.Compute_table.create ~name:"zeroalloc" ~bits:8 ~dummy:0 in
+  Dd.Compute_table.store table ~k1:1 ~k2:2 ~k3:3 42;
+  ignore (Sys.opaque_identity (Dd.Compute_table.find table ~k1:9 ~k2:9 ~k3:9));
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    Dd.Compute_table.store table ~k1:1 ~k2:2 ~k3:3 42;
+    ignore
+      (Sys.opaque_identity (Dd.Compute_table.find table ~k1:9 ~k2:9 ~k3:9))
+  done;
+  let allocated = Gc.minor_words () -. before in
+  check_bool
+    (Printf.sprintf "100k sequential find/store allocated %.0f words"
+       allocated)
+    true (allocated < 256.);
+  let l = Dd.Compute_table.lock_stats table in
+  check_int "sequential traffic never touches the lock counters" 0
+    l.Dd.Compute_table.acquisitions
+
+let test_parallel_trace_has_lanes () =
+  let circuit = Standard.random_circuit ~seed:17 ~qubits:5 ~gates:40 () in
+  let engine = Dd_sim.Engine.create Circuit.(circuit.qubits) in
+  Dd_sim.Engine.set_domains engine 4;
+  let trace = Obs.Trace.create () in
+  Dd_sim.Engine.set_trace engine trace;
+  Dd_sim.Engine.run
+    ~strategy:(Dd_sim.Strategy.K_operations 4)
+    engine circuit;
+  check_bool "lanes were merged back before the run returned" false
+    (Obs.Trace.lanes_armed trace);
+  let events = Obs.Trace.events trace in
+  let sections =
+    Array.fold_left
+      (fun n (e : Obs.Trace.event) ->
+        if e.kind = Obs.Trace.Pool_section then n + 1 else n)
+      0 events
+  in
+  check_bool "pool sections were traced" true (sections > 0);
+  (* completion order must survive the lane merge *)
+  let previous = ref neg_infinity in
+  Array.iter
+    (fun (e : Obs.Trace.event) ->
+      let finish = e.t +. e.dur in
+      check_bool "end times stay monotone after merging" true
+        (finish >= !previous -. 1e-9);
+      previous := finish)
+    events
+
 let suite =
   [
     Alcotest.test_case "pool returns results in submission order" `Quick
@@ -224,5 +370,15 @@ let suite =
       `Quick test_worker_alloc_failure_is_structured;
     Alcotest.test_case "auditor is clean after a parallel run" `Quick
       test_audit_passes_after_parallel_run;
+    Alcotest.test_case "pool utilization accounting" `Quick
+      test_pool_utilization_accounting;
+    Alcotest.test_case "run absorbs pool stats" `Quick
+      test_run_absorbs_pool_stats;
+    Alcotest.test_case "sequential run leaves instrumentation dark" `Quick
+      test_sequential_run_leaves_instrumentation_dark;
+    Alcotest.test_case "sequential table ops allocate nothing" `Quick
+      test_sequential_table_ops_allocate_nothing;
+    Alcotest.test_case "parallel traced run has lanes" `Quick
+      test_parallel_trace_has_lanes;
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_parallel_run_matches ]
