@@ -701,12 +701,15 @@ let apply_run_json ~circuit_name ~mode ~strategy ~fused circuit =
   (* best of three, each in a fresh package instance (same policy as
      [timed_run]); counters are identical across repetitions, so they are
      reported from the last one *)
-  let one () =
+  let one ?ledger () =
     let ctx = Dd.Context.create () in
     let engine =
       Dd_sim.Engine.create ~context:ctx Circuit.(circuit.qubits)
     in
     Dd_sim.Engine.set_fused_apply engine fused;
+    (match ledger with
+    | None -> ()
+    | Some sink -> Dd_sim.Engine.set_ledger engine sink);
     let (), seconds =
       wall (fun () -> Dd_sim.Engine.run ~strategy engine circuit)
     in
@@ -714,7 +717,11 @@ let apply_run_json ~circuit_name ~mode ~strategy ~fused circuit =
   in
   let _, _, t1 = one () in
   let _, _, t2 = one () in
-  let ctx, engine, t3 = one () in
+  (* the strategy ledger rides on the last repetition only; its timing
+     columns are attribution data (bench-check informational), while
+     min-of-three keeps the wall_seconds column honest *)
+  let ledger = Obs.Ledger.create () in
+  let ctx, engine, t3 = one ~ledger () in
   let seconds = min t1 (min t2 t3) in
   let stats = Dd_sim.Engine.stats engine in
   let table name =
@@ -728,6 +735,15 @@ let apply_run_json ~circuit_name ~mode ~strategy ~fused circuit =
     else
       float_of_int apply.Dd.Compute_table.hits
       /. float_of_int apply.Dd.Compute_table.lookups
+  in
+  let lt = Obs.Ledger.totals (Obs.Ledger.entries ledger) in
+  let attributed =
+    Obs.Ledger.total_build_seconds ledger
+    +. Obs.Ledger.total_apply_seconds ledger
+  in
+  let coverage =
+    let wall = stats.Dd_sim.Sim_stats.wall_time_seconds in
+    if wall > 0. then attributed /. wall else 0.
   in
   Printf.sprintf
     "    {\n\
@@ -745,7 +761,13 @@ let apply_run_json ~circuit_name ~mode ~strategy ~fused circuit =
      \      \"apply_lookups\": %d,\n\
      \      \"apply_hits\": %d,\n\
      \      \"apply_hit_rate\": %.6f,\n\
-     \      \"apply_evictions\": %d\n\
+     \      \"apply_evictions\": %d,\n\
+     \      \"ledger_windows\": %d,\n\
+     \      \"ledger_fallbacks\": %d,\n\
+     \      \"ledger_mat_vec_seconds\": %.6f,\n\
+     \      \"ledger_mat_mat_build_seconds\": %.6f,\n\
+     \      \"ledger_mat_mat_apply_seconds\": %.6f,\n\
+     \      \"ledger_wall_coverage\": %.6f\n\
      \    }"
     circuit_name mode
     (Dd_sim.Strategy.to_string strategy)
@@ -756,7 +778,10 @@ let apply_run_json ~circuit_name ~mode ~strategy ~fused circuit =
     stats.Dd_sim.Sim_stats.generic_applies
     (Dd.Context.apply_skips ctx) mul_mv.Dd.Compute_table.lookups
     apply.Dd.Compute_table.lookups apply.Dd.Compute_table.hits apply_hit_rate
-    apply.Dd.Compute_table.evictions
+    apply.Dd.Compute_table.evictions lt.Obs.Ledger.mm_entries
+    lt.Obs.Ledger.fb_entries
+    (lt.Obs.Ledger.mv_build +. lt.Obs.Ledger.mv_apply)
+    lt.Obs.Ledger.mm_build lt.Obs.Ledger.mm_apply coverage
 
 let apply_bench ~smoke () =
   let out = if smoke then "BENCH_apply_smoke.json" else "BENCH_apply.json" in
@@ -1110,9 +1135,12 @@ let reorder_bench ~smoke () =
    qft_14 / k:4 at 4 domains. *)
 
 let parallel_run_json ~circuit_name ~k ~domains circuit =
-  let one () =
+  let one ?ledger () =
     let engine = Dd_sim.Engine.create Circuit.(circuit.qubits) in
     Dd_sim.Engine.set_domains engine domains;
+    (match ledger with
+    | None -> ()
+    | Some sink -> Dd_sim.Engine.set_ledger engine sink);
     let (), seconds =
       wall (fun () ->
           Dd_sim.Engine.run
@@ -1123,7 +1151,9 @@ let parallel_run_json ~circuit_name ~k ~domains circuit =
   in
   let _, t1 = one () in
   let _, t2 = one () in
-  let engine, t3 = one () in
+  (* ledger on the last repetition only, as in the apply bench *)
+  let ledger = Obs.Ledger.create () in
+  let engine, t3 = one ~ledger () in
   let seconds = min t1 (min t2 t3) in
   let stats = Dd_sim.Engine.stats engine in
   (* concurrency section (last repetition only): pool utilization from
@@ -1137,6 +1167,15 @@ let parallel_run_json ~circuit_name ~k ~domains circuit =
       (0, 0, 0.)
       (Dd.Context.lock_stats (Dd_sim.Engine.context engine))
   in
+  let lt = Obs.Ledger.totals (Obs.Ledger.entries ledger) in
+  let attributed =
+    Obs.Ledger.total_build_seconds ledger
+    +. Obs.Ledger.total_apply_seconds ledger
+  in
+  let coverage =
+    let wall = stats.Dd_sim.Sim_stats.wall_time_seconds in
+    if wall > 0. then attributed /. wall else 0.
+  in
   ( seconds,
     Printf.sprintf
       "    {\n\
@@ -1147,6 +1186,12 @@ let parallel_run_json ~circuit_name ~k ~domains circuit =
        \      \"final_state_nodes\": %d,\n\
        \      \"mat_mat_mults\": %d,\n\
        \      \"combined_applications\": %d,\n\
+       \      \"ledger_windows\": %d,\n\
+       \      \"ledger_fallbacks\": %d,\n\
+       \      \"ledger_mat_vec_seconds\": %.6f,\n\
+       \      \"ledger_mat_mat_build_seconds\": %.6f,\n\
+       \      \"ledger_mat_mat_apply_seconds\": %.6f,\n\
+       \      \"ledger_wall_coverage\": %.6f,\n\
        \      \"parallel\": {\n\
        \        \"pool_batches\": %d,\n\
        \        \"pool_tasks\": %d,\n\
@@ -1164,6 +1209,9 @@ let parallel_run_json ~circuit_name ~k ~domains circuit =
       (Dd_sim.Engine.state_node_count engine)
       stats.Dd_sim.Sim_stats.mat_mat_mults
       stats.Dd_sim.Sim_stats.combined_applications
+      lt.Obs.Ledger.mm_entries lt.Obs.Ledger.fb_entries
+      (lt.Obs.Ledger.mv_build +. lt.Obs.Ledger.mv_apply)
+      lt.Obs.Ledger.mm_build lt.Obs.Ledger.mm_apply coverage
       stats.Dd_sim.Sim_stats.pool_batches
       stats.Dd_sim.Sim_stats.pool_tasks
       stats.Dd_sim.Sim_stats.pool_busy_seconds

@@ -143,6 +143,43 @@ let export_profile ~meta = function
       (Obs.Dd_profile.length sink)
       (Obs.Dd_profile.dropped sink)
 
+(* strategy cost ledger, shared by run / simulate *)
+
+let ledger_arg =
+  let doc =
+    "Record a per-window strategy cost ledger — mat-vec vs mat-mat \
+     attribution with build/apply seconds, compute-table traffic, node \
+     bulges and memory gauges — and write it to $(docv) as JSONL; read \
+     it back with $(b,ddsim explain) and compare runs with \
+     $(b,ddsim diff)."
+  in
+  Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+
+let attach_ledger engine = function
+  | None -> None
+  | Some path ->
+    let sink = Obs.Ledger.create () in
+    Dd_sim.Engine.set_ledger engine sink;
+    Some (path, sink)
+
+let export_ledger engine ~meta = function
+  | None -> ()
+  | Some (path, sink) ->
+    (* the wall clock rides along so [ddsim explain] can report how much
+       of the run the attributed spans actually cover *)
+    let meta =
+      meta
+      @ [
+          ( "wall_seconds",
+            Printf.sprintf "%.6f"
+              (Dd_sim.Engine.stats engine).Dd_sim.Sim_stats.wall_time_seconds
+          );
+        ]
+    in
+    Obs.Trace_export.write_file path (Obs.Ledger.jsonl ~meta sink);
+    Printf.printf "wrote ledger %s (%d entries, %d dropped)\n" path
+      (Obs.Ledger.length sink) (Obs.Ledger.dropped sink)
+
 let no_fused_apply_arg =
   let doc =
     "Disable the structured-apply fast path: every gate is materialised \
@@ -493,7 +530,7 @@ let run_cmd =
       strategy repeating construct samples stats no_fused domains max_nodes
       max_matrix deadline norm_tol auto_gc checkpoint checkpoint_every
       resume trace trace_format metrics profile profile_every stats_json
-      audit_every audit_tol reorder order bulge_factor reorder_every =
+      ledger audit_every audit_tol reorder order bulge_factor reorder_every =
     with_structured_errors @@ fun () ->
     if algo = "shor" then run_shor modulus base strategy construct
     else begin
@@ -509,6 +546,7 @@ let run_cmd =
         ~every:reorder_every;
       let traced = attach_trace engine trace in
       let profiled = attach_profile engine ~every:profile_every profile in
+      let ledgered = attach_ledger engine ledger in
       let guard =
         guard_of_options max_nodes max_matrix deadline norm_tol auto_gc
       in
@@ -527,6 +565,7 @@ let run_cmd =
       in
       export_trace ~format:trace_format ~meta traced;
       export_profile ~meta profiled;
+      export_ledger engine ~meta ledgered;
       write_stats_json engine stats_json;
       if metrics then print_metrics engine
     end
@@ -541,8 +580,8 @@ let run_cmd =
       $ deadline_arg $ norm_tol_arg $ auto_gc_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ trace_arg $ trace_format_arg
       $ metrics_arg $ profile_arg $ profile_every_arg $ stats_json_arg
-      $ audit_every_arg $ audit_tol_arg $ reorder_arg $ order_arg
-      $ bulge_factor_arg $ reorder_every_arg)
+      $ ledger_arg $ audit_every_arg $ audit_tol_arg $ reorder_arg
+      $ order_arg $ bulge_factor_arg $ reorder_every_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a built-in benchmark circuit.") term
 
@@ -566,7 +605,7 @@ let simulate_cmd =
   let action file strategy seed samples stats no_fused domains detect
       max_nodes max_matrix deadline norm_tol auto_gc checkpoint
       checkpoint_every resume trace trace_format metrics profile
-      profile_every stats_json audit_every audit_tol reorder order
+      profile_every stats_json ledger audit_every audit_tol reorder order
       bulge_factor reorder_every =
     with_structured_errors @@ fun () ->
     let source =
@@ -587,6 +626,7 @@ let simulate_cmd =
       ~every:reorder_every;
     let traced = attach_trace engine trace in
     let profiled = attach_profile engine ~every:profile_every profile in
+    let ledgered = attach_ledger engine ledger in
     let guard =
       guard_of_options max_nodes max_matrix deadline norm_tol auto_gc
     in
@@ -605,6 +645,7 @@ let simulate_cmd =
     in
     export_trace ~format:trace_format ~meta traced;
     export_profile ~meta profiled;
+    export_ledger engine ~meta ledgered;
     write_stats_json engine stats_json;
     if metrics then print_metrics engine
   in
@@ -616,8 +657,8 @@ let simulate_cmd =
       $ auto_gc_arg
       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ trace_arg
       $ trace_format_arg $ metrics_arg $ profile_arg $ profile_every_arg
-      $ stats_json_arg $ audit_every_arg $ audit_tol_arg $ reorder_arg
-      $ order_arg $ bulge_factor_arg $ reorder_every_arg)
+      $ stats_json_arg $ ledger_arg $ audit_every_arg $ audit_tol_arg
+      $ reorder_arg $ order_arg $ bulge_factor_arg $ reorder_every_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate an OpenQASM 2.0 file.") term
 
@@ -796,11 +837,17 @@ let trace_file_arg =
 
 let report_cmd =
   let action file =
-    match Obs.Trace_report.parse_jsonl (read_source file) with
-    | run -> print_string (Obs.Trace_report.render run)
-    | exception Failure message ->
-      Printf.eprintf "ddsim: %s\n" message;
-      exit 2
+    let text = read_source file in
+    if String.trim text = "" then
+      (* a trace that never got a header is a run that recorded nothing,
+         not a corrupt artifact: summarise and succeed *)
+      print_string "trace report: no events (empty trace file)\n"
+    else
+      match Obs.Trace_report.parse_jsonl text with
+      | run -> print_string (Obs.Trace_report.render run)
+      | exception Failure message ->
+        Printf.eprintf "ddsim: %s\n" message;
+        exit 2
   in
   let term = Term.(const action $ trace_file_arg) in
   Cmd.v
@@ -811,6 +858,42 @@ let report_cmd =
           curve), rendered for the terminal.")
     term
 
+(* --- explain ---------------------------------------------------------- *)
+
+let ledger_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"LEDGER.jsonl"
+        ~doc:
+          "JSONL ledger written by $(b,run --ledger) / \
+           $(b,simulate --ledger).")
+
+let top_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "top" ] ~docv:"N"
+        ~doc:"List the $(docv) most expensive windows (default 5).")
+
+let explain_cmd =
+  let action file top =
+    match Obs.Ledger.parse_jsonl (read_source file) with
+    | run -> print_string (Obs.Ledger.explain ~top run)
+    | exception Failure message ->
+      Printf.eprintf "ddsim: %s\n" message;
+      exit 2
+  in
+  let term = Term.(const action $ ledger_file_arg $ top_arg) in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Analyse a strategy cost ledger: total mat-vec vs mat-mat time, \
+          amortization per window size, the observed break-even k and \
+          the most expensive windows with their node bulges — the \
+          paper's matrix-vector vs matrix-matrix comparison measured on \
+          an actual run.")
+    term
+
 (* --- diff ------------------------------------------------------------ *)
 
 let diff_file_a_arg =
@@ -818,7 +901,9 @@ let diff_file_a_arg =
     required
     & pos 0 (some file) None
     & info [] ~docv:"A.jsonl"
-        ~doc:"First run: a JSONL trace (--trace) or profile (--profile).")
+        ~doc:
+          "First run: a JSONL trace (--trace), profile (--profile) or \
+           ledger (--ledger).")
 
 let diff_file_b_arg =
   Arg.(
@@ -869,6 +954,10 @@ let diff_cmd =
           Obs.Run_diff.render_profiles ~label_a:path_a ~label_b:path_b
             (Obs.Dd_profile.parse_jsonl text_a)
             (Obs.Dd_profile.parse_jsonl text_b)
+        else if schema_a = Obs.Ledger.schema then
+          Obs.Run_diff.render_ledgers ~label_a:path_a ~label_b:path_b
+            (Obs.Ledger.parse_jsonl text_a)
+            (Obs.Ledger.parse_jsonl text_b)
         else begin
           Printf.eprintf "ddsim: cannot diff schema %S files\n" schema_a;
           exit 2
@@ -958,7 +1047,8 @@ let fsck_files_arg =
     & info [] ~docv:"FILE"
         ~doc:
           "Artifacts to validate: checkpoints (--checkpoint), JSONL \
-           traces (--trace) and structural profiles (--profile).")
+           traces (--trace), structural profiles (--profile) and \
+           strategy ledgers (--ledger).")
 
 let fsck_cmd =
   let action files =
@@ -1039,5 +1129,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; simulate_cmd; export_cmd; dot_cmd; inspect_cmd;
-            optimize_cmd; equiv_cmd; plot_cmd; report_cmd; diff_cmd;
-            bench_check_cmd; fsck_cmd ]))
+            optimize_cmd; equiv_cmd; plot_cmd; report_cmd; explain_cmd;
+            diff_cmd; bench_check_cmd; fsck_cmd ]))

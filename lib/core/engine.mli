@@ -89,6 +89,17 @@ val set_profile : t -> Obs.Dd_profile.sink -> unit
 
 val profile : t -> Obs.Dd_profile.sink
 
+val set_ledger : t -> Obs.Ledger.t -> unit
+(** Attach a strategy cost ledger: {!run} opens one {!Obs.Ledger.entry}
+    per combination window (and per sequential/fast-path stretch between
+    windows) and attributes build seconds, apply seconds, matrix-DD
+    peaks, memo-table traffic and end-of-window memory gauges to it.
+    The default is {!Obs.Ledger.null} — disabled, and every recording
+    site reduces to one flag check with zero allocation.  Pass
+    {!Obs.Ledger.null} to detach. *)
+
+val ledger : t -> Obs.Ledger.t
+
 val set_audit : t -> ?tolerance:float -> int -> unit
 (** [set_audit engine k] arms the invariant auditor ({!Dd.Audit}) at a
     cadence of one pass per [k] applied gates ([0] disarms — the

@@ -1,7 +1,8 @@
 (** Artifact validation — the library behind [ddsim fsck].
 
     Every sidecar the toolchain writes (checkpoints, JSONL traces,
-    JSONL structural profiles) is written crash-safely
+    JSONL structural profiles, JSONL strategy ledgers) is written
+    crash-safely
     ({!Obs.Safe_io}) and carries a checksum trailer; [fsck] closes the
     loop by re-validating files at rest: the checksum, the schema, the
     full parse (checkpoints are reconstructed into a throwaway DD
@@ -13,7 +14,9 @@
 
 type report = {
   path : string;
-  family : string;  (** ["checkpoint"], ["trace"], ["profile"], ["unknown"] *)
+  family : string;
+      (** ["checkpoint"], ["trace"], ["profile"], ["ledger"],
+          ["unknown"] *)
   ok : bool;
   detail : string;
       (** on success a one-line summary; on failure the located fault *)

@@ -28,6 +28,7 @@ type t = {
   mutable pool_busy_seconds : float;
   mutable pool_idle_seconds : float;
   mutable pool_section_seconds : float;
+  mutable ledger_entries : int;
 }
 
 let create () =
@@ -61,6 +62,7 @@ let create () =
     pool_busy_seconds = 0.;
     pool_idle_seconds = 0.;
     pool_section_seconds = 0.;
+    ledger_entries = 0;
   }
 
 let reset stats =
@@ -92,7 +94,8 @@ let reset stats =
   stats.pool_tasks <- 0;
   stats.pool_busy_seconds <- 0.;
   stats.pool_idle_seconds <- 0.;
-  stats.pool_section_seconds <- 0.
+  stats.pool_section_seconds <- 0.;
+  stats.ledger_entries <- 0
 
 let copy stats = { stats with mat_vec_mults = stats.mat_vec_mults }
 
@@ -125,7 +128,8 @@ let assign dst src =
   dst.pool_tasks <- src.pool_tasks;
   dst.pool_busy_seconds <- src.pool_busy_seconds;
   dst.pool_idle_seconds <- src.pool_idle_seconds;
-  dst.pool_section_seconds <- src.pool_section_seconds
+  dst.pool_section_seconds <- src.pool_section_seconds;
+  dst.ledger_entries <- src.ledger_entries
 
 let pp fmt stats =
   let fast_pct =
@@ -171,4 +175,6 @@ let pp fmt stats =
       " pool-batches=%d pool-tasks=%d pool-busy=%.3fs pool-idle=%.3fs \
        pool-sections=%.3fs"
       stats.pool_batches stats.pool_tasks stats.pool_busy_seconds
-      stats.pool_idle_seconds stats.pool_section_seconds
+      stats.pool_idle_seconds stats.pool_section_seconds;
+  if stats.ledger_entries > 0 then
+    Format.fprintf fmt " ledger-entries=%d" stats.ledger_entries

@@ -79,6 +79,10 @@ type t = {
           stragglers), clamped at 0 *)
   mutable pool_section_seconds : float;
       (** wall time spent inside pool sections, scatter to gather *)
+  mutable ledger_entries : int;
+      (** entries committed to the attached {!Obs.Ledger} ([--ledger]);
+          [0] when no ledger is attached.  Observability-only, like the
+          pool family: not persisted in checkpoints. *)
 }
 
 val create : unit -> t

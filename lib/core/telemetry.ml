@@ -37,6 +37,7 @@ let populate registry engine =
   set_count registry "sim.reorder_nodes_after"
     stats.Sim_stats.reorder_nodes_after;
   set_count registry "sim.domains" stats.Sim_stats.domains;
+  set_count registry "sim.ledger_entries" stats.Sim_stats.ledger_entries;
   set_value registry "sim.wall_time_seconds" stats.Sim_stats.wall_time_seconds;
   set_count registry "nodes.live_vector" (Dd.Context.live_v_nodes ctx);
   set_count registry "nodes.live_matrix" (Dd.Context.live_m_nodes ctx);
@@ -50,6 +51,19 @@ let populate registry engine =
       set_count registry (field "evictions") s.evictions;
       set_count registry (field "entries") s.entries)
     (Dd.Context.table_stats ctx);
+  (* rebuild-stable short-circuits of the structured-apply kernel:
+     cache-equivalent wins that never probe the apply table, so the
+     table.apply hit counters alone undercount its reuse *)
+  set_count registry "table.apply.ident_skips" (Dd.Context.apply_skips ctx);
+  (* memory gauges: OCaml heap occupancy plus the DD package's estimated
+     table residency (entry counts x documented per-entry layout costs) *)
+  let q = Gc.quick_stat () in
+  set_count registry "mem.heap_live_words" q.Gc.live_words;
+  set_count registry "mem.heap_top_words" q.Gc.top_heap_words;
+  set_count registry "mem.unique_table_bytes" (Dd.Context.unique_table_bytes ctx);
+  set_count registry "mem.compute_table_bytes"
+    (Dd.Context.compute_table_bytes ctx);
+  set_count registry "mem.residency_bytes" (Dd.Context.residency_bytes ctx);
   (* concurrency families: pool utilization from Sim_stats (absorbed at
      pool teardown) and stripe-lock contention per shared structure.
      All zero — but present — on a sequential run. *)

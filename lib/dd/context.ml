@@ -199,6 +199,48 @@ let reset_lock_stats ctx =
   Compute_table.reset_lock_stats ctx.norm;
   Compute_table.reset_lock_stats ctx.max_mag
 
+(* -- table residency estimates ---------------------------------------- *)
+
+(* Per-entry heap-word costs, from the record layouts in types.ml / the
+   packed compute-table slots.  A vnode is a 5-word block (header + vid,
+   level, v_low, v_high) plus two boxed vedges at 3 words each — 11 words.
+   An mnode is a 7-word block plus four boxed medges — 19 words.  A packed
+   compute-table entry is four key/value slots plus the boxed result edge
+   and weight sharing — call it 8 words.  A canonical-weight entry is a
+   boxed Cnum (3 words) plus its table slot — call it 6.  These are
+   estimates for telemetry gauges, not an allocator census: hash-table
+   bucket overhead and weight sharing pull in opposite directions and
+   roughly cancel. *)
+let vnode_words = 11
+let mnode_words = 19
+let compute_entry_words = 8
+let cnum_entry_words = 6
+let bytes_per_word = 8
+
+let unique_table_bytes ctx =
+  bytes_per_word
+  * ((live_v_nodes ctx * vnode_words)
+    + (live_m_nodes ctx * mnode_words)
+    + (Ctable.size ctx.ctable * cnum_entry_words))
+
+(* O(1): every Compute_table.length is one atomic load, never the
+   [table_stats] allocation path — this runs on the ledger commit path. *)
+let compute_table_bytes ctx =
+  let entries =
+    Compute_table.length ctx.add_v
+    + Compute_table.length ctx.add_m
+    + Compute_table.length ctx.mul_mv
+    + Compute_table.length ctx.mul_mm
+    + Compute_table.length ctx.apply_v
+    + Compute_table.length ctx.dot
+    + Compute_table.length ctx.adjoint
+    + Compute_table.length ctx.norm
+    + Compute_table.length ctx.max_mag
+  in
+  bytes_per_word * compute_entry_words * entries
+
+let residency_bytes ctx = unique_table_bytes ctx + compute_table_bytes ctx
+
 let gc_stats ctx = ctx.gc
 let apply_skips ctx = ctx.apply_skips
 let note_apply_skip ctx = ctx.apply_skips <- ctx.apply_skips + 1

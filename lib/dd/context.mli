@@ -111,6 +111,20 @@ val lock_stats : t -> (string * Compute_table.lock_stats) list
 
 val reset_lock_stats : t -> unit
 
+val unique_table_bytes : t -> int
+(** Estimated bytes resident in the unique tables and the canonical
+    weight table, from live entry counts times documented per-entry
+    layout costs (vnode 11 words, mnode 19, weight 6; 8-byte words).
+    O(1) — safe on hot observability paths. *)
+
+val compute_table_bytes : t -> int
+(** Estimated bytes resident across all nine compute tables (8 words
+    per packed entry).  O(1). *)
+
+val residency_bytes : t -> int
+(** {!unique_table_bytes} + {!compute_table_bytes} — the [mem.*]
+    telemetry gauge and the ledger's per-window memory column. *)
+
 val gc_stats : t -> gc_stats
 
 val apply_skips : t -> int

@@ -33,6 +33,13 @@ let starts_with text prefix =
    CI runner trips freely). *)
 let classify name =
   if starts_with name "pool_" || starts_with name "lock_" then Informational
+  else if
+    (* ledger-derived timing columns (attributed seconds, wall-clock
+       coverage) are as scheduling-dependent as the pool family; the
+       deterministic ledger columns (windows, fallbacks) stay Count *)
+    starts_with name "ledger_"
+    && (contains_sub name "seconds" || contains_sub name "coverage")
+  then Informational
   else if contains_sub name "seconds" || contains_sub name "time" then Time
   else if ends_with name "_rate" then Rate
   else Count

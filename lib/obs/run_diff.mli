@@ -13,10 +13,13 @@
     - per-phase time deltas (count and total duration per event kind);
     - compute-table hit-rate deltas for the multiplication kinds.
 
-    Works on both file families: JSONL traces ({!Trace_report.run}) and
-    structural profiles ({!Dd_profile.run}); for profiles the report
-    additionally breaks the divergence down per DD level and compares
-    sharing and identity-region fractions. *)
+    Works on three file families: JSONL traces ({!Trace_report.run}),
+    structural profiles ({!Dd_profile.run}) and strategy cost ledgers
+    ({!Ledger.run}).  For profiles the report additionally breaks the
+    divergence down per DD level and compares sharing and
+    identity-region fractions; for ledgers it compares per-strategy
+    gate counts and attributed seconds, break-even k, and memory
+    peaks. *)
 
 type divergence = {
   gate : int;  (** first gate index where the node counts disagree *)
@@ -51,3 +54,9 @@ val render_profiles :
   Dd_profile.run ->
   string
 (** The full report for two parsed structural profiles. *)
+
+val render_ledgers :
+  ?label_a:string -> ?label_b:string -> Ledger.run -> Ledger.run -> string
+(** The full report for two parsed strategy ledgers: per-strategy totals
+    side by side with time deltas, break-even k of each run, and peak
+    matrix-DD / memory gauges. *)

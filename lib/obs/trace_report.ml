@@ -269,6 +269,14 @@ let render run =
   Buffer.add_string buffer
     (Printf.sprintf "events: %d (%d dropped at capture time)\n"
        (List.length run.events) run.dropped);
+  if run.events = [] then begin
+    (* header-only trace: a breakdown of zero phases and an empty plot
+       would only obscure the one fact that matters *)
+    Buffer.add_string buffer
+      "no events recorded — the run emitted nothing into this trace\n";
+    Buffer.contents buffer
+  end
+  else begin
   let phase_table ps =
     Buffer.add_string buffer
       (Printf.sprintf "\n%-16s %8s %12s %12s %12s\n" "phase" "count"
@@ -318,3 +326,4 @@ let render run =
       (Printf.sprintf "peak state nodes: %d at gate %d\n" nodes gate)
   | None -> ());
   Buffer.contents buffer
+  end
